@@ -1,0 +1,386 @@
+// Package helios_test hosts the benchmark harness: one testing.B benchmark
+// per table and figure of the paper's evaluation (run them with
+// `go test -bench=. -benchmem`), plus throughput micro-benchmarks for the
+// simulator itself. Figure/table benches report the headline quantity of
+// the corresponding artifact via b.ReportMetric, so a bench run regenerates
+// the evaluation at reduced instruction budgets; use cmd/experiments for
+// the full-budget numbers recorded in EXPERIMENTS.md.
+package helios_test
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"helios/internal/core"
+	"helios/internal/emu"
+	"helios/internal/experiments"
+	"helios/internal/fusion"
+	"helios/internal/helios"
+	"helios/internal/ooo"
+	"helios/internal/workloads"
+)
+
+// benchBudget keeps each experiment iteration fast enough for testing.B.
+const benchBudget = 30_000
+
+func newHarness() *experiments.Harness {
+	return experiments.New(benchBudget)
+}
+
+// lastCell parses the numeric value (stripping %) in the given column of a
+// table's last row.
+func lastCell(b *testing.B, h *experiments.Harness, id string, col int) float64 {
+	b.Helper()
+	tbl, err := h.Run(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	row := tbl.Row(tbl.NumRows() - 1)
+	v, err := strconv.ParseFloat(strings.TrimSuffix(row[col], "%"), 64)
+	if err != nil {
+		b.Fatalf("%s: bad cell %q", id, row[col])
+	}
+	return v
+}
+
+// BenchmarkFigure2 regenerates Figure 2 (fused µ-ops by idiom class) and
+// reports the average memory-idiom percentage.
+func BenchmarkFigure2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h := newHarness()
+		mem := lastCell(b, h, "fig2", 1)
+		b.ReportMetric(mem, "mem-fused-%")
+	}
+}
+
+// BenchmarkFigure3 regenerates Figure 3 and reports the geomean normalized
+// IPC of memory-only fusion.
+func BenchmarkFigure3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h := newHarness()
+		b.ReportMetric(lastCell(b, h, "fig3", 2), "memonly-speedup")
+	}
+}
+
+// BenchmarkFigure4 regenerates Figure 4 (consecutive pair categories) and
+// reports the average contiguous-pair percentage.
+func BenchmarkFigure4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h := newHarness()
+		b.ReportMetric(lastCell(b, h, "fig4", 1), "contiguous-%")
+	}
+}
+
+// BenchmarkFigure5 regenerates Figure 5 and reports the average additional
+// NCSF percentage.
+func BenchmarkFigure5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h := newHarness()
+		b.ReportMetric(lastCell(b, h, "fig5", 2), "ncsf-%")
+	}
+}
+
+// BenchmarkFigure8 regenerates Figure 8 and reports Helios's average NCSF
+// pair percentage (relative to memory instructions).
+func BenchmarkFigure8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h := newHarness()
+		b.ReportMetric(lastCell(b, h, "fig8", 2), "helios-ncsf-%")
+	}
+}
+
+// BenchmarkFigure9 regenerates Figure 9 (structural stalls); the metric is
+// the count of table rows (three configurations per workload).
+func BenchmarkFigure9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h := newHarness()
+		tbl, err := h.Run("fig9")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(tbl.NumRows()), "rows")
+	}
+}
+
+// BenchmarkFigure10 regenerates the headline figure and reports the
+// geomean Helios speedup over NoFusion.
+func BenchmarkFigure10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h := newHarness()
+		b.ReportMetric(lastCell(b, h, "fig10", 4), "helios-geomean")
+		b.ReportMetric(lastCell(b, h, "fig10", 5), "oracle-geomean")
+	}
+}
+
+// BenchmarkTable2 regenerates the machine configuration table.
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h := newHarness()
+		tbl, err := h.Run("table2")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(tbl.NumRows()), "rows")
+	}
+}
+
+// BenchmarkTable3 regenerates the predictor quality table and reports the
+// average accuracy (the paper reports 99.7%).
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h := newHarness()
+		b.ReportMetric(lastCell(b, h, "table3", 2), "accuracy-%")
+		b.ReportMetric(lastCell(b, h, "table3", 1), "coverage-%")
+	}
+}
+
+// BenchmarkStorageCost regenerates the Section IV-B7 storage accounting.
+func BenchmarkStorageCost(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c := helios.Cost(helios.PaperParams())
+		b.ReportMetric(float64(c.TotalBits()), "bits")
+	}
+}
+
+// ---- Simulator throughput micro-benchmarks ----
+
+// BenchmarkEmulator measures functional simulation speed.
+func BenchmarkEmulator(b *testing.B) {
+	w, _ := workloads.ByName("crc32")
+	b.ResetTimer()
+	retired := 0
+	for retired < b.N {
+		m, err := w.NewMachine()
+		if err != nil {
+			b.Fatal(err)
+		}
+		n, err := m.Run(uint64(b.N - retired))
+		if err != nil {
+			b.Fatal(err)
+		}
+		retired += int(n)
+	}
+	b.ReportMetric(float64(retired), "insts")
+}
+
+// BenchmarkPipelineNoFusion measures cycle-level simulation speed.
+func BenchmarkPipelineNoFusion(b *testing.B) {
+	benchPipeline(b, fusion.ModeNoFusion)
+}
+
+// BenchmarkPipelineHelios measures simulation speed with the full Helios
+// machinery enabled.
+func BenchmarkPipelineHelios(b *testing.B) {
+	benchPipeline(b, fusion.ModeHelios)
+}
+
+// BenchmarkPipelineOracle measures simulation speed with oracle pairing.
+func BenchmarkPipelineOracle(b *testing.B) {
+	benchPipeline(b, fusion.ModeOracle)
+}
+
+func benchPipeline(b *testing.B, mode fusion.Mode) {
+	w, _ := workloads.ByName("xz")
+	b.ResetTimer()
+	done := uint64(0)
+	for done < uint64(b.N) {
+		r, err := core.Run(w, mode, min64(uint64(b.N)-done, w.MaxInsts))
+		if err != nil {
+			b.Fatal(err)
+		}
+		done += r.Stats.CommittedInsts
+	}
+	b.ReportMetric(float64(done), "insts")
+}
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// BenchmarkUCH measures the Unfused Committed History's observe path.
+func BenchmarkUCH(b *testing.B) {
+	u := helios.NewUCH()
+	for i := 0; i < b.N; i++ {
+		u.ObserveLoad(uint64(i%97), uint64(i))
+	}
+}
+
+// BenchmarkFP measures a fusion predictor lookup+train round trip.
+func BenchmarkFP(b *testing.B) {
+	fp := helios.NewFP()
+	for i := 0; i < b.N; i++ {
+		pc := uint64(i % 4096 * 4)
+		fp.Predict(pc, uint64(i))
+		fp.Train(pc, uint64(i), 1+i%63)
+	}
+}
+
+// BenchmarkOracle measures the perfect-pairing engine's observe path.
+func BenchmarkOracle(b *testing.B) {
+	o := fusion.NewOracle(fusion.DefaultPairConfig())
+	w, _ := workloads.ByName("typeset")
+	s, err := w.Stream(uint64(b.N))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, ok := s()
+		if !ok {
+			s, _ = w.Stream(uint64(b.N))
+			continue
+		}
+		o.Observe(r)
+	}
+}
+
+var sinkRetired emu.Retired
+
+// BenchmarkDecode measures raw instruction decode throughput.
+func BenchmarkDecode(b *testing.B) {
+	w, _ := workloads.ByName("sha")
+	s, err := w.Stream(uint64(b.N))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, ok := s()
+		if !ok {
+			s, _ = w.Stream(uint64(b.N))
+			continue
+		}
+		sinkRetired = r
+	}
+}
+
+// BenchmarkConfigSweep exercises the whole design space on one workload:
+// the ablation used by examples/fusionstudy.
+func BenchmarkConfigSweep(b *testing.B) {
+	w, _ := workloads.ByName("typeset")
+	for i := 0; i < b.N; i++ {
+		for _, m := range fusion.Modes {
+			cfg := ooo.DefaultConfig(m)
+			cfg.MaxUops = 10_000
+			if _, err := core.RunConfig(w, cfg, 10_000); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// ---- Design-space ablation benchmarks (Section IV discussion) ----
+
+// BenchmarkAblationNesting sweeps the NCSF nesting depth (the paper found
+// two levels sufficient).
+func BenchmarkAblationNesting(b *testing.B) {
+	for _, nest := range []int{1, 2, 4} {
+		b.Run(strconv.Itoa(nest), func(b *testing.B) {
+			w, _ := workloads.ByName("fft")
+			for i := 0; i < b.N; i++ {
+				cfg := ooo.DefaultConfig(fusion.ModeHelios)
+				cfg.MaxNCSFNest = nest
+				r, err := core.RunConfig(w, cfg, benchBudget)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(r.Stats.IPC(), "ipc")
+				b.ReportMetric(float64(r.Stats.NCSFPairs()), "ncsf")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationDistance sweeps the maximum head-tail distance
+// (the paper allows 64 µ-ops).
+func BenchmarkAblationDistance(b *testing.B) {
+	for _, dist := range []int{4, 16, 64} {
+		b.Run(strconv.Itoa(dist), func(b *testing.B) {
+			w, _ := workloads.ByName("sha")
+			for i := 0; i < b.N; i++ {
+				cfg := ooo.DefaultConfig(fusion.ModeHelios)
+				cfg.PairCfg.MaxDist = dist
+				r, err := core.RunConfig(w, cfg, benchBudget)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(r.Stats.IPC(), "ipc")
+				b.ReportMetric(float64(r.Stats.NCSFPairs()), "ncsf")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationUCHSize sweeps the load-side UCH capacity
+// (the paper chose 6 entries).
+func BenchmarkAblationUCHSize(b *testing.B) {
+	for _, size := range []int{1, 2, 6, 16} {
+		b.Run(strconv.Itoa(size), func(b *testing.B) {
+			w, _ := workloads.ByName("typeset")
+			for i := 0; i < b.N; i++ {
+				cfg := ooo.DefaultConfig(fusion.ModeHelios)
+				cfg.UCHLoadEntries = size
+				r, err := core.RunConfig(w, cfg, benchBudget)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(r.Stats.IPC(), "ipc")
+				b.ReportMetric(float64(r.Stats.TotalMemPairs()), "pairs")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationConfidence compares the paper's deterministic 2-bit
+// confidence against probabilistic counters (the suggested
+// accuracy/coverage trade).
+func BenchmarkAblationConfidence(b *testing.B) {
+	configs := []struct {
+		name string
+		fp   helios.FPConfig
+	}{
+		{"thresh1", helios.FPConfig{ConfidenceThreshold: 1}},
+		{"thresh3", helios.FPConfig{}},
+		{"prob2", helios.FPConfig{ProbShift: 2}},
+		{"prob4", helios.FPConfig{ProbShift: 4}},
+	}
+	for _, c := range configs {
+		c := c
+		b.Run(c.name, func(b *testing.B) {
+			w, _ := workloads.ByName("qsort")
+			for i := 0; i < b.N; i++ {
+				cfg := ooo.DefaultConfig(fusion.ModeHelios)
+				cfg.FP = c.fp
+				r, err := core.RunConfig(w, cfg, benchBudget)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(r.Stats.IPC(), "ipc")
+				b.ReportMetric(100*r.Stats.Accuracy(), "accuracy-%")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationStoreDrain sweeps the store buffer drain bandwidth,
+// the resource whose pressure drives the paper's largest gains.
+func BenchmarkAblationStoreDrain(b *testing.B) {
+	for _, n := range []int{1, 2, 4} {
+		b.Run(strconv.Itoa(n), func(b *testing.B) {
+			w, _ := workloads.ByName("xz")
+			for i := 0; i < b.N; i++ {
+				cfg := ooo.DefaultConfig(fusion.ModeHelios)
+				cfg.StoreDrainPerCycle = n
+				r, err := core.RunConfig(w, cfg, benchBudget)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(r.Stats.IPC(), "ipc")
+			}
+		})
+	}
+}

@@ -1,0 +1,58 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments                  # everything, paper order
+//	experiments -id fig10        # one experiment
+//	experiments -insts 100000    # smaller budget per run
+//	experiments -csv             # machine-readable output
+//	experiments -workloads xz,gcc,typeset
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"helios/internal/experiments"
+	"helios/internal/fusion"
+)
+
+func main() {
+	var (
+		id       = flag.String("id", "", "experiment id ("+strings.Join(experiments.IDs(), ", ")+"); empty = all")
+		insts    = flag.Uint64("insts", 0, "instruction budget per run (0 = workload defaults)")
+		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		worklist = flag.String("workloads", "", "comma-separated workload subset (default: all)")
+	)
+	flag.Parse()
+
+	h := experiments.New(*insts)
+	if *worklist != "" {
+		h.Workloads = strings.Split(*worklist, ",")
+	}
+
+	emit := func(idName string) {
+		tbl, err := h.Run(idName)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", idName, err)
+			os.Exit(1)
+		}
+		if *csv {
+			fmt.Printf("# %s\n%s\n", idName, tbl.CSV())
+		} else {
+			fmt.Printf("%s\n", tbl)
+		}
+	}
+
+	if *id != "" {
+		emit(*id)
+		return
+	}
+	// Warm the cache in parallel before printing everything.
+	h.Suite.Prefetch(h.Workloads, fusion.Modes)
+	for _, idName := range experiments.IDs() {
+		emit(idName)
+	}
+}

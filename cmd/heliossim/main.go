@@ -1,0 +1,120 @@
+// Command heliossim runs one workload on the cycle-level core model under
+// a chosen fusion configuration and prints the detailed statistics.
+//
+// Usage:
+//
+//	heliossim -workload xz -mode Helios [-insts 350000]
+//	heliossim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"helios/internal/core"
+	"helios/internal/fusion"
+	"helios/internal/stats"
+	"helios/internal/workloads"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "crc32", "workload name (see -list)")
+		mode     = flag.String("mode", "Helios", "fusion configuration: "+modeNames())
+		insts    = flag.Uint64("insts", 0, "instruction budget (0 = workload default)")
+		list     = flag.Bool("list", false, "list workloads and exit")
+		compare  = flag.Bool("compare", false, "run every fusion configuration and compare IPC")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, w := range workloads.All() {
+			fmt.Printf("%-14s %-10d %s\n", w.Name, w.MaxInsts, w.PaperRef)
+		}
+		return
+	}
+
+	w, ok := workloads.ByName(*workload)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown workload %q; try -list\n", *workload)
+		os.Exit(1)
+	}
+
+	if *compare {
+		runCompare(w, *insts)
+		return
+	}
+
+	m, ok := fusion.ModeByName(*mode)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown mode %q; want one of %s\n", *mode, modeNames())
+		os.Exit(1)
+	}
+	r, err := core.Run(w, m, *insts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	printResult(r)
+}
+
+func modeNames() string {
+	names := make([]string, len(fusion.Modes))
+	for i, m := range fusion.Modes {
+		names[i] = m.String()
+	}
+	return strings.Join(names, ", ")
+}
+
+func runCompare(w workloads.Workload, insts uint64) {
+	t := stats.NewTable(fmt.Sprintf("%s: fusion configuration comparison", w.Name),
+		"config", "IPC", "vs NoFusion", "csf", "ncsf", "idioms", "mispredicts")
+	var base float64
+	for _, m := range fusion.Modes {
+		r, err := core.Run(w, m, insts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		s := r.Stats
+		if m == fusion.ModeNoFusion {
+			base = s.IPC()
+		}
+		t.AddRow(m.String(), stats.F(s.IPC(), 3), stats.F(s.IPC()/base, 3),
+			fmt.Sprint(s.CSFPairs()), fmt.Sprint(s.NCSFPairs()),
+			fmt.Sprint(s.FusedIdiom+s.FusedMemIdiom), fmt.Sprint(s.FusionMispredicts))
+	}
+	fmt.Print(t)
+}
+
+func printResult(r *core.Result) {
+	s := r.Stats
+	fmt.Printf("workload:   %s\nconfig:     %v\n\n", r.Workload, r.Mode)
+	fmt.Printf("cycles:             %d\n", s.Cycles)
+	fmt.Printf("instructions:       %d (%d µ-ops, %d memory)\n",
+		s.CommittedInsts, s.CommittedUops, s.CommittedMem)
+	fmt.Printf("IPC:                %.3f\n\n", s.IPC())
+
+	fmt.Printf("fused idioms:       %d non-memory, %d memory-carrying\n", s.FusedIdiom, s.FusedMemIdiom)
+	fmt.Printf("fused pairs:        %d CSF (%d ld / %d st), %d NCSF (%d ld / %d st)\n",
+		s.CSFPairs(), s.CSFLoadPairs, s.CSFStorePairs,
+		s.NCSFPairs(), s.NCSFLoadPairs, s.NCSFStorePairs)
+	fmt.Printf("pair attributes:    %d DBR, %d asymmetric, mean NCSF distance %.1f\n",
+		s.DBRPairs, s.AsymmetricPairs, s.MeanNCSFDistance())
+	fmt.Printf("unfused at rename:  %d (window/serial/store/dbr/deadlock = %v)\n\n",
+		s.UnfusedAtRename, s.UnfuseReasons)
+
+	fmt.Printf("fusion predictor:   %d predictions, %d mispredicts (accuracy %.2f%%, coverage %.2f%%, MPKI %.4f)\n",
+		s.FusionPredictions, s.FusionMispredicts, 100*s.Accuracy(), 100*s.Coverage(), s.FusionMPKI())
+	fmt.Printf("branches:           %d (%d mispredicted, MPKI %.2f)\n",
+		s.Branches, s.BranchMispredicts, s.BranchMPKI())
+	fmt.Printf("memory:             %d forwards, %d violations, %d flushes\n\n",
+		s.STLForwards, s.StoreSetViolations, s.Flushes)
+
+	cyc := float64(s.Cycles)
+	fmt.Printf("structural stalls:  regs %.1f%%, rob %.1f%%, iq %.1f%%, lq %.1f%%, sq %.1f%%\n",
+		100*float64(s.StallFreeList)/cyc, 100*float64(s.StallROB)/cyc,
+		100*float64(s.StallIQ)/cyc, 100*float64(s.StallLQ)/cyc, 100*float64(s.StallSQ)/cyc)
+}

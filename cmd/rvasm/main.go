@@ -1,0 +1,53 @@
+// Command rvasm assembles RV64 assembly (the dialect of internal/asm) and
+// prints the resulting image as a disassembly listing or hex words.
+//
+// Usage:
+//
+//	rvasm program.s            # disassembly listing
+//	rvasm -hex program.s       # one 32-bit word per line
+//	rvasm -symbols program.s   # symbol table
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"helios/internal/asm"
+)
+
+func main() {
+	var (
+		hex     = flag.Bool("hex", false, "print raw instruction words")
+		symbols = flag.Bool("symbols", false, "print the symbol table")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: rvasm [-hex|-symbols] <file.s>")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	prog, err := asm.Assemble(string(src))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	switch {
+	case *hex:
+		for _, w := range prog.Text {
+			fmt.Printf("%08x\n", w)
+		}
+	case *symbols:
+		for _, name := range prog.SortedSymbols() {
+			fmt.Printf("%08x %s\n", prog.Symbols[name], name)
+		}
+	default:
+		fmt.Print(prog.Disassemble())
+		fmt.Printf("\n%d instructions, %d data bytes, entry %#x\n",
+			len(prog.Text), len(prog.Data), prog.Entry)
+	}
+}

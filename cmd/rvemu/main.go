@@ -1,0 +1,72 @@
+// Command rvemu functionally executes an RV64 assembly program (no timing)
+// and reports its exit status, instruction count and output, like a tiny
+// Spike. It can also run a registered workload by name.
+//
+// Usage:
+//
+//	rvemu program.s
+//	rvemu -workload dijkstra
+//	rvemu -max 1000000 program.s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"helios/internal/asm"
+	"helios/internal/emu"
+	"helios/internal/workloads"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "", "run a registered workload instead of a file")
+		max      = flag.Uint64("max", 100_000_000, "instruction bound")
+	)
+	flag.Parse()
+
+	var m *emu.Machine
+	switch {
+	case *workload != "":
+		w, ok := workloads.ByName(*workload)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown workload %q\n", *workload)
+			os.Exit(1)
+		}
+		var err error
+		m, err = w.NewMachine()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	case flag.NArg() == 1:
+		src, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		prog, err := asm.Assemble(string(src))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		m = emu.New(prog)
+	default:
+		fmt.Fprintln(os.Stderr, "usage: rvemu [-max N] (<file.s> | -workload <name>)")
+		os.Exit(2)
+	}
+
+	n, err := m.Run(*max)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "after %d instructions: %v\n", n, err)
+		os.Exit(1)
+	}
+	if out := m.Output(); out != "" {
+		fmt.Print(out)
+	}
+	fmt.Printf("retired %d instructions, halted=%v, exit=%d\n", n, m.Halted(), m.ExitCode())
+	if m.Halted() {
+		os.Exit(m.ExitCode() & 0xff)
+	}
+}

@@ -1,0 +1,79 @@
+// Fusionstudy: sweep the fusion design space on one workload — the five
+// paper configurations, the NCSF nesting depth, and the maximum fusion
+// distance — reproducing the kind of ablation Section IV discusses.
+//
+// Run with: go run ./examples/fusionstudy [workload]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"helios/internal/core"
+	"helios/internal/fusion"
+	"helios/internal/ooo"
+	"helios/internal/stats"
+	"helios/internal/workloads"
+)
+
+func main() {
+	name := "xz"
+	if len(os.Args) > 1 {
+		name = os.Args[1]
+	}
+	w, ok := workloads.ByName(name)
+	if !ok {
+		log.Fatalf("unknown workload %q (have %v)", name, workloads.Names())
+	}
+
+	// 1. The paper's five configurations.
+	t := stats.NewTable(fmt.Sprintf("%s: fusion configurations", name),
+		"config", "IPC", "speedup", "pairs", "sq stall%")
+	var base float64
+	for _, m := range fusion.Modes {
+		r, err := core.Run(w, m, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		s := r.Stats
+		if m == fusion.ModeNoFusion {
+			base = s.IPC()
+		}
+		t.AddRow(m.String(), stats.F(s.IPC(), 3),
+			stats.Pct(s.IPC()/base-1, 1),
+			fmt.Sprint(s.TotalMemPairs()),
+			stats.Pct(float64(s.StallSQ)/float64(s.Cycles), 1))
+	}
+	fmt.Println(t)
+
+	// 2. NCSF nesting depth ablation (the paper chose 2).
+	t2 := stats.NewTable("Helios: NCSF nesting depth ablation",
+		"nest levels", "IPC", "ncsf pairs", "nest-limit drops")
+	for _, nest := range []int{1, 2, 4, 8} {
+		cfg := ooo.DefaultConfig(fusion.ModeHelios)
+		cfg.MaxNCSFNest = nest
+		r, err := core.RunConfig(w, cfg, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		t2.AddRow(fmt.Sprint(nest), stats.F(r.Stats.IPC(), 3),
+			fmt.Sprint(r.Stats.NCSFPairs()), fmt.Sprint(r.Stats.NestLimitDrops))
+	}
+	fmt.Println(t2)
+
+	// 3. Maximum fusion distance ablation (the paper allows 64 µ-ops).
+	t3 := stats.NewTable("Helios: maximum fusion distance ablation",
+		"max distance", "IPC", "ncsf pairs", "mean distance")
+	for _, dist := range []int{4, 16, 64} {
+		cfg := ooo.DefaultConfig(fusion.ModeHelios)
+		cfg.PairCfg.MaxDist = dist
+		r, err := core.RunConfig(w, cfg, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		t3.AddRow(fmt.Sprint(dist), stats.F(r.Stats.IPC(), 3),
+			fmt.Sprint(r.Stats.NCSFPairs()), stats.F(r.Stats.MeanNCSFDistance(), 1))
+	}
+	fmt.Println(t3)
+}

@@ -1,0 +1,277 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"helios/internal/isa"
+)
+
+func mustAssemble(t *testing.T, src string) *Program {
+	t.Helper()
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	return p
+}
+
+func TestBasicProgram(t *testing.T) {
+	p := mustAssemble(t, `
+		.text
+	_start:
+		addi a0, zero, 5
+		addi a1, a0, 7
+		add  a2, a0, a1
+		ecall
+	`)
+	if len(p.Text) != 4 {
+		t.Fatalf("text length = %d, want 4", len(p.Text))
+	}
+	if p.Entry != p.TextBase {
+		t.Errorf("entry = %#x, want %#x", p.Entry, p.TextBase)
+	}
+	i := isa.Decode(p.Text[0])
+	want := isa.Inst{Op: isa.OpADDI, Rd: isa.A0, Imm: 5}
+	if i != want {
+		t.Errorf("inst 0 = %v, want %v", i, want)
+	}
+}
+
+func TestLabelsAndBranches(t *testing.T) {
+	p := mustAssemble(t, `
+	_start:
+		li   t0, 10
+		li   t1, 0
+	loop:
+		addi t1, t1, 1
+		addi t0, t0, -1
+		bnez t0, loop
+		j    done
+		nop
+	done:
+		ecall
+	`)
+	// bnez is instruction index 4 (li 10 -> addi, li 0 -> addi).
+	i := isa.Decode(p.Text[4])
+	if i.Op != isa.OpBNE {
+		t.Fatalf("inst 4 = %v, want bne", i)
+	}
+	if i.Imm != -8 { // back two instructions
+		t.Errorf("branch offset = %d, want -8", i.Imm)
+	}
+	j := isa.Decode(p.Text[5])
+	if j.Op != isa.OpJAL || j.Rd != isa.Zero || j.Imm != 8 {
+		t.Errorf("j = %v (imm %d), want jal zero, +8", j, j.Imm)
+	}
+}
+
+func TestMemoryOperands(t *testing.T) {
+	p := mustAssemble(t, `
+		ld   a0, 8(sp)
+		ld   a1, (sp)
+		sd   a0, -16(sp)
+		lw   a2, 0(a0)
+		sb   a3, 3(a1)
+	`)
+	cases := []isa.Inst{
+		{Op: isa.OpLD, Rd: isa.A0, Rs1: isa.SP, Imm: 8},
+		{Op: isa.OpLD, Rd: isa.A1, Rs1: isa.SP, Imm: 0},
+		{Op: isa.OpSD, Rs1: isa.SP, Rs2: isa.A0, Imm: -16},
+		{Op: isa.OpLW, Rd: isa.A2, Rs1: isa.A0, Imm: 0},
+		{Op: isa.OpSB, Rs1: isa.A1, Rs2: isa.A3, Imm: 3},
+	}
+	for n, want := range cases {
+		if got := isa.Decode(p.Text[n]); got != want {
+			t.Errorf("inst %d = %v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestDataSectionAndLa(t *testing.T) {
+	p := mustAssemble(t, `
+		.data
+	nums:
+		.word 1, 2, 3, 4
+	msg:
+		.asciz "hi"
+		.align 3
+	arr:
+		.zero 64
+		.text
+	_start:
+		la a0, nums
+		la a1, arr
+		lw a2, 0(a0)
+	`)
+	numsAddr, ok := p.Symbol("nums")
+	if !ok || numsAddr != p.DataBase {
+		t.Fatalf("nums = %#x, %v; want %#x", numsAddr, ok, p.DataBase)
+	}
+	msgAddr, _ := p.Symbol("msg")
+	if msgAddr != p.DataBase+16 {
+		t.Errorf("msg = %#x, want %#x", msgAddr, p.DataBase+16)
+	}
+	arrAddr, _ := p.Symbol("arr")
+	if arrAddr%8 != 0 || arrAddr <= msgAddr {
+		t.Errorf("arr = %#x, want 8-aligned after msg", arrAddr)
+	}
+	if p.Data[0] != 1 || p.Data[4] != 2 {
+		t.Errorf("data words wrong: % x", p.Data[:8])
+	}
+	if string(p.Data[16:18]) != "hi" || p.Data[18] != 0 {
+		t.Errorf("asciz wrong: % x", p.Data[16:19])
+	}
+	// la expands to lui+addi that resolves to numsAddr.
+	lui := isa.Decode(p.Text[0])
+	addi := isa.Decode(p.Text[1])
+	got := uint64(uint32(lui.Imm)) + uint64(addi.Imm)
+	if got != numsAddr {
+		t.Errorf("la resolved to %#x, want %#x", got, numsAddr)
+	}
+}
+
+func TestLiExpansion(t *testing.T) {
+	cases := []int64{0, 1, -1, 2047, -2048, 2048, 4096, 0x12345, -0x12345,
+		0x7fffffff, -0x80000000, 0x100000000, 0x123456789abcdef0, -0x123456789abcdef0}
+	for _, v := range cases {
+		insts := expandLi(isa.A0, v)
+		// Simulate the sequence.
+		var regs [32]int64
+		for _, in := range insts {
+			switch in.Op {
+			case isa.OpADDI:
+				regs[in.Rd] = regs[in.Rs1] + in.Imm
+			case isa.OpADDIW:
+				regs[in.Rd] = int64(int32(regs[in.Rs1] + in.Imm))
+			case isa.OpLUI:
+				regs[in.Rd] = in.Imm
+			case isa.OpSLLI:
+				regs[in.Rd] = regs[in.Rs1] << uint(in.Imm)
+			default:
+				t.Fatalf("li %#x: unexpected op %v", v, in.Op)
+			}
+		}
+		if regs[isa.A0] != v {
+			t.Errorf("li %#x evaluated to %#x (%d insts)", v, regs[isa.A0], len(insts))
+		}
+	}
+}
+
+func TestPseudoInstructions(t *testing.T) {
+	p := mustAssemble(t, `
+		mv   a0, a1
+		not  a2, a3
+		neg  a4, a5
+		seqz t0, t1
+		snez t2, t3
+		ret
+	`)
+	cases := []isa.Inst{
+		{Op: isa.OpADDI, Rd: isa.A0, Rs1: isa.A1},
+		{Op: isa.OpXORI, Rd: isa.A2, Rs1: isa.A3, Imm: -1},
+		{Op: isa.OpSUB, Rd: isa.A4, Rs2: isa.A5},
+		{Op: isa.OpSLTIU, Rd: isa.T0, Rs1: isa.T1, Imm: 1},
+		{Op: isa.OpSLTU, Rd: isa.T2, Rs2: isa.T3},
+		{Op: isa.OpJALR, Rd: isa.Zero, Rs1: isa.RA},
+	}
+	for n, want := range cases {
+		if got := isa.Decode(p.Text[n]); got != want {
+			t.Errorf("inst %d = %v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestSwappedBranches(t *testing.T) {
+	p := mustAssemble(t, `
+	top:
+		bgt a0, a1, top
+		ble a0, a1, top
+		bgtu a0, a1, top
+		bleu a0, a1, top
+	`)
+	wantOps := []isa.Opcode{isa.OpBLT, isa.OpBGE, isa.OpBLTU, isa.OpBGEU}
+	for n, op := range wantOps {
+		i := isa.Decode(p.Text[n])
+		if i.Op != op || i.Rs1 != isa.A1 || i.Rs2 != isa.A0 {
+			t.Errorf("inst %d = %v, want %v with swapped regs", n, i, op)
+		}
+	}
+}
+
+func TestCallAndFunctions(t *testing.T) {
+	p := mustAssemble(t, `
+	_start:
+		call f
+		ecall
+	f:
+		addi a0, a0, 1
+		ret
+	`)
+	i := isa.Decode(p.Text[0])
+	if i.Op != isa.OpJAL || i.Rd != isa.RA || i.Imm != 8 {
+		t.Errorf("call = %v imm=%d, want jal ra, +8", i, i.Imm)
+	}
+}
+
+func TestComments(t *testing.T) {
+	p := mustAssemble(t, `
+		# full line comment
+		addi a0, zero, 1 # trailing
+		addi a1, zero, 2 // c++ style
+	`)
+	if len(p.Text) != 2 {
+		t.Fatalf("text length = %d, want 2", len(p.Text))
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []string{
+		"bogus a0, a1",
+		"addi a0, a1",         // missing operand
+		"addi a0, a1, a2, a3", // too many
+		"ld a0, 8(q9)",        // bad register
+		"j undefined_label",
+		"addi a0, a1, 99999", // immediate out of range
+		".data\n.word nosuchsym",
+		"x: nop\nx: nop", // duplicate label
+	}
+	for _, src := range cases {
+		if _, err := Assemble(src); err == nil {
+			t.Errorf("Assemble(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestHiLoRelocation(t *testing.T) {
+	p := mustAssemble(t, `
+		.data
+	val:
+		.dword 42
+		.text
+		lui  a0, %hi(val)
+		addi a0, a0, %lo(val)
+	`)
+	lui := isa.Decode(p.Text[0])
+	addi := isa.Decode(p.Text[1])
+	addr, _ := p.Symbol("val")
+	if got := uint64(uint32(lui.Imm)) + uint64(addi.Imm); got != addr {
+		t.Errorf("hi/lo resolved to %#x, want %#x", got, addr)
+	}
+}
+
+func TestDisassembleContainsSymbols(t *testing.T) {
+	p := mustAssemble(t, "_start:\n nop\nend:\n ecall\n")
+	d := p.Disassemble()
+	if !strings.Contains(d, "_start:") || !strings.Contains(d, "ecall") {
+		t.Errorf("disassembly missing content:\n%s", d)
+	}
+}
+
+func TestSortedSymbols(t *testing.T) {
+	p := mustAssemble(t, "b:\n nop\na:\n nop\n")
+	syms := p.SortedSymbols()
+	if len(syms) != 2 || syms[0] != "b" || syms[1] != "a" {
+		t.Errorf("SortedSymbols = %v", syms)
+	}
+}

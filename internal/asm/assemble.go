@@ -1,0 +1,401 @@
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"helios/internal/isa"
+)
+
+// relocKind describes how a proto-instruction's immediate is resolved in
+// the second pass.
+type relocKind uint8
+
+const (
+	relocNone   relocKind = iota
+	relocBranch           // B-type pc-relative to symbol
+	relocJal              // J-type pc-relative to symbol
+	relocHi               // %hi(symbol): upper 20 bits with rounding
+	relocLo               // %lo(symbol): low 12 bits, sign extended
+)
+
+// proto is an instruction awaiting symbol resolution.
+type proto struct {
+	inst   isa.Inst
+	reloc  relocKind
+	sym    string
+	addend int64
+	line   int
+}
+
+// item is one parsed source statement.
+type item struct {
+	label    string
+	mnemonic string
+	args     []string
+	line     int
+}
+
+// Options configures section placement.
+type Options struct {
+	TextBase uint64
+	DataBase uint64
+}
+
+// Assemble assembles source text with default section placement.
+func Assemble(src string) (*Program, error) {
+	return AssembleWith(src, Options{TextBase: DefaultTextBase, DataBase: DefaultDataBase})
+}
+
+// AssembleWith assembles source text using the given options.
+func AssembleWith(src string, opts Options) (*Program, error) {
+	if opts.TextBase == 0 {
+		opts.TextBase = DefaultTextBase
+	}
+	if opts.DataBase == 0 {
+		opts.DataBase = DefaultDataBase
+	}
+	a := &assembler{
+		opts:    opts,
+		symbols: make(map[string]uint64),
+	}
+	if err := a.parse(src); err != nil {
+		return nil, err
+	}
+	if err := a.layout(); err != nil {
+		return nil, err
+	}
+	if err := a.emit(); err != nil {
+		return nil, err
+	}
+	entry := opts.TextBase
+	for _, name := range []string{"_start", "main"} {
+		if v, ok := a.symbols[name]; ok {
+			entry = v
+			break
+		}
+	}
+	return &Program{
+		TextBase: opts.TextBase,
+		Text:     a.text,
+		DataBase: opts.DataBase,
+		Data:     a.data,
+		Entry:    entry,
+		Symbols:  a.symbols,
+	}, nil
+}
+
+type assembler struct {
+	opts      Options
+	textItems []item
+	dataItems []item
+	protos    []proto
+	text      []uint32
+	data      []byte
+	symbols   map[string]uint64
+
+	dataSizeSoFar uint64 // running size during pass one, for .align
+}
+
+func errAt(line int, format string, args ...any) error {
+	return fmt.Errorf("line %d: %s", line, fmt.Sprintf(format, args...))
+}
+
+// parse splits source into items assigned to the text or data section.
+func (a *assembler) parse(src string) error {
+	section := ".text"
+	for ln, raw := range strings.Split(src, "\n") {
+		line := ln + 1
+		s := stripComment(raw)
+		s = strings.TrimSpace(s)
+		for s != "" {
+			// Leading labels, possibly several per line.
+			if i := strings.IndexByte(s, ':'); i >= 0 && isIdent(s[:i]) {
+				a.addItem(section, item{label: s[:i], line: line})
+				s = strings.TrimSpace(s[i+1:])
+				continue
+			}
+			break
+		}
+		if s == "" {
+			continue
+		}
+		if s == ".text" || s == ".data" {
+			section = s
+			continue
+		}
+		mnemonic, rest := splitMnemonic(s)
+		if mnemonic == ".globl" || mnemonic == ".global" || mnemonic == ".section" {
+			continue // accepted and ignored
+		}
+		args, err := splitArgs(rest)
+		if err != nil {
+			return errAt(line, "%v", err)
+		}
+		a.addItem(section, item{mnemonic: mnemonic, args: args, line: line})
+	}
+	return nil
+}
+
+func (a *assembler) addItem(section string, it item) {
+	if section == ".data" {
+		a.dataItems = append(a.dataItems, it)
+	} else {
+		a.textItems = append(a.textItems, it)
+	}
+}
+
+func stripComment(s string) string {
+	inStr := false
+	for i := 0; i < len(s); i++ {
+		switch {
+		case s[i] == '"':
+			inStr = !inStr
+		case inStr:
+			// skip
+		case s[i] == '#':
+			return s[:i]
+		case s[i] == '/' && i+1 < len(s) && s[i+1] == '/':
+			return s[:i]
+		}
+	}
+	return s
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || c == '.' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' ||
+			i > 0 && c >= '0' && c <= '9'
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func splitMnemonic(s string) (string, string) {
+	for i := 0; i < len(s); i++ {
+		if s[i] == ' ' || s[i] == '\t' {
+			return s[:i], strings.TrimSpace(s[i:])
+		}
+	}
+	return s, ""
+}
+
+// splitArgs splits an operand list on commas, honouring string literals.
+func splitArgs(s string) ([]string, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var args []string
+	depth := 0
+	inStr := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			inStr = !inStr
+		case '(':
+			if !inStr {
+				depth++
+			}
+		case ')':
+			if !inStr {
+				depth--
+			}
+		case ',':
+			if !inStr && depth == 0 {
+				args = append(args, strings.TrimSpace(s[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	if inStr {
+		return nil, fmt.Errorf("unterminated string literal")
+	}
+	args = append(args, strings.TrimSpace(s[start:]))
+	return args, nil
+}
+
+// layout performs pass one: expand every text item to proto instructions to
+// learn its size, assign label addresses in both sections.
+func (a *assembler) layout() error {
+	pc := a.opts.TextBase
+	for _, it := range a.textItems {
+		if it.label != "" {
+			if _, dup := a.symbols[it.label]; dup {
+				return errAt(it.line, "duplicate label %q", it.label)
+			}
+			a.symbols[it.label] = pc
+			continue
+		}
+		ps, err := a.expand(it)
+		if err != nil {
+			return err
+		}
+		a.protos = append(a.protos, ps...)
+		pc += uint64(4 * len(ps))
+	}
+
+	off := uint64(0)
+	for _, it := range a.dataItems {
+		if it.label != "" {
+			if _, dup := a.symbols[it.label]; dup {
+				return errAt(it.line, "duplicate label %q", it.label)
+			}
+			a.symbols[it.label] = a.opts.DataBase + off
+			continue
+		}
+		n, err := a.emitData(it, false)
+		if err != nil {
+			return err
+		}
+		off += n
+	}
+	return nil
+}
+
+// emit performs pass two: resolve relocations and write binary output.
+func (a *assembler) emit() error {
+	a.text = make([]uint32, 0, len(a.protos))
+	pc := a.opts.TextBase
+	for _, p := range a.protos {
+		inst := p.inst
+		if p.reloc != relocNone {
+			target, ok := a.symbols[p.sym]
+			if !ok {
+				return errAt(p.line, "undefined symbol %q", p.sym)
+			}
+			target += uint64(p.addend)
+			switch p.reloc {
+			case relocBranch, relocJal:
+				inst.Imm = int64(target) - int64(pc)
+			case relocHi:
+				inst.Imm = int64(int32((uint32(target) + 0x800) & 0xfffff000))
+			case relocLo:
+				inst.Imm = int64(int32(target<<20) >> 20)
+			}
+		}
+		w, err := isa.Encode(inst)
+		if err != nil {
+			return errAt(p.line, "encode %v: %v", inst, err)
+		}
+		a.text = append(a.text, w)
+		pc += 4
+	}
+
+	a.data = a.data[:0]
+	for _, it := range a.dataItems {
+		if it.label != "" {
+			continue
+		}
+		if _, err := a.emitData(it, true); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// emitData handles a data directive. When write is false it only computes
+// the size contribution (pass one).
+func (a *assembler) emitData(it item, write bool) (uint64, error) {
+	put := func(b ...byte) {
+		if write {
+			a.data = append(a.data, b...)
+		}
+	}
+	size := uint64(0)
+	switch it.mnemonic {
+	case ".align":
+		if len(it.args) != 1 {
+			return 0, errAt(it.line, ".align needs one argument")
+		}
+		n, err := parseInt(it.args[0])
+		if err != nil || n < 0 || n > 12 {
+			return 0, errAt(it.line, "bad .align %v", it.args[0])
+		}
+		align := uint64(1) << uint(n)
+		cur := uint64(len(a.data))
+		if !write {
+			cur = a.dataSizeSoFar
+		}
+		pad := (align - cur%align) % align
+		for i := uint64(0); i < pad; i++ {
+			put(0)
+		}
+		size = pad
+	case ".byte", ".half", ".word", ".dword", ".quad":
+		width := map[string]int{".byte": 1, ".half": 2, ".word": 4, ".dword": 8, ".quad": 8}[it.mnemonic]
+		for _, arg := range it.args {
+			v, err := a.dataValue(arg, it.line)
+			if err != nil {
+				return 0, err
+			}
+			for b := 0; b < width; b++ {
+				put(byte(v >> (8 * b)))
+			}
+			size += uint64(width)
+		}
+	case ".ascii", ".asciz", ".string":
+		for _, arg := range it.args {
+			s, err := parseString(arg)
+			if err != nil {
+				return 0, errAt(it.line, "%v", err)
+			}
+			put([]byte(s)...)
+			size += uint64(len(s))
+			if it.mnemonic != ".ascii" {
+				put(0)
+				size++
+			}
+		}
+	case ".zero", ".space":
+		if len(it.args) != 1 {
+			return 0, errAt(it.line, "%s needs one argument", it.mnemonic)
+		}
+		n, err := parseInt(it.args[0])
+		if err != nil || n < 0 {
+			return 0, errAt(it.line, "bad %s size %v", it.mnemonic, it.args[0])
+		}
+		for i := int64(0); i < n; i++ {
+			put(0)
+		}
+		size = uint64(n)
+	default:
+		return 0, errAt(it.line, "unknown data directive %q", it.mnemonic)
+	}
+	if !write {
+		a.dataSizeSoFar += size
+	}
+	return size, nil
+}
+
+// dataValue resolves a data initialiser: a number or a defined symbol.
+func (a *assembler) dataValue(arg string, line int) (int64, error) {
+	if v, err := parseInt(arg); err == nil {
+		return v, nil
+	}
+	if v, ok := a.symbols[arg]; ok {
+		return int64(v), nil
+	}
+	return 0, errAt(line, "bad data value %q", arg)
+}
+
+func parseString(arg string) (string, error) {
+	if len(arg) < 2 || arg[0] != '"' || arg[len(arg)-1] != '"' {
+		return "", fmt.Errorf("expected string literal, got %q", arg)
+	}
+	return strconv.Unquote(arg)
+}
+
+func parseInt(s string) (int64, error) {
+	if len(s) == 3 && s[0] == '\'' && s[2] == '\'' {
+		return int64(s[1]), nil
+	}
+	return strconv.ParseInt(s, 0, 64)
+}

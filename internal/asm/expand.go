@@ -1,0 +1,468 @@
+package asm
+
+import (
+	"strings"
+
+	"helios/internal/isa"
+)
+
+// expand translates one source statement into proto instructions,
+// performing pseudo-instruction expansion. The expansion size depends only
+// on the statement text, so pass one and pass two agree.
+func (a *assembler) expand(it item) ([]proto, error) {
+	m := it.mnemonic
+	args := it.args
+	ln := it.line
+	p := func(inst isa.Inst) proto { return proto{inst: inst, line: ln} }
+
+	reg := func(i int) (isa.Reg, error) {
+		if i >= len(args) {
+			return 0, errAt(ln, "%s: missing operand %d", m, i+1)
+		}
+		r, ok := isa.RegByName(args[i])
+		if !ok {
+			return 0, errAt(ln, "%s: bad register %q", m, args[i])
+		}
+		return r, nil
+	}
+	imm := func(i int) (int64, error) {
+		if i >= len(args) {
+			return 0, errAt(ln, "%s: missing operand %d", m, i+1)
+		}
+		v, err := parseInt(args[i])
+		if err != nil {
+			return 0, errAt(ln, "%s: bad immediate %q", m, args[i])
+		}
+		return v, nil
+	}
+	sym := func(i int) (string, error) {
+		if i >= len(args) {
+			return "", errAt(ln, "%s: missing operand %d", m, i+1)
+		}
+		if !isIdent(args[i]) {
+			return "", errAt(ln, "%s: bad symbol %q", m, args[i])
+		}
+		return args[i], nil
+	}
+
+	// Direct (non-pseudo) instructions.
+	if op, ok := isa.OpcodeByName(m); ok {
+		return a.expandDirect(op, it)
+	}
+
+	switch m {
+	case "nop":
+		return []proto{p(isa.Inst{Op: isa.OpADDI})}, nil
+	case "li":
+		rd, err := reg(0)
+		if err != nil {
+			return nil, err
+		}
+		v, err := imm(1)
+		if err != nil {
+			return nil, err
+		}
+		insts := expandLi(rd, v)
+		out := make([]proto, len(insts))
+		for i, in := range insts {
+			out[i] = p(in)
+		}
+		return out, nil
+	case "la":
+		rd, err := reg(0)
+		if err != nil {
+			return nil, err
+		}
+		s, err := sym(1)
+		if err != nil {
+			return nil, err
+		}
+		return []proto{
+			{inst: isa.Inst{Op: isa.OpLUI, Rd: rd}, reloc: relocHi, sym: s, line: ln},
+			{inst: isa.Inst{Op: isa.OpADDI, Rd: rd, Rs1: rd}, reloc: relocLo, sym: s, line: ln},
+		}, nil
+	case "mv":
+		rd, err := reg(0)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := reg(1)
+		if err != nil {
+			return nil, err
+		}
+		return []proto{p(isa.Inst{Op: isa.OpADDI, Rd: rd, Rs1: rs})}, nil
+	case "not":
+		rd, err := reg(0)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := reg(1)
+		if err != nil {
+			return nil, err
+		}
+		return []proto{p(isa.Inst{Op: isa.OpXORI, Rd: rd, Rs1: rs, Imm: -1})}, nil
+	case "neg", "negw":
+		rd, err := reg(0)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := reg(1)
+		if err != nil {
+			return nil, err
+		}
+		op := isa.OpSUB
+		if m == "negw" {
+			op = isa.OpSUBW
+		}
+		return []proto{p(isa.Inst{Op: op, Rd: rd, Rs2: rs})}, nil
+	case "sext.w":
+		rd, err := reg(0)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := reg(1)
+		if err != nil {
+			return nil, err
+		}
+		return []proto{p(isa.Inst{Op: isa.OpADDIW, Rd: rd, Rs1: rs})}, nil
+	case "seqz":
+		rd, err := reg(0)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := reg(1)
+		if err != nil {
+			return nil, err
+		}
+		return []proto{p(isa.Inst{Op: isa.OpSLTIU, Rd: rd, Rs1: rs, Imm: 1})}, nil
+	case "snez":
+		rd, err := reg(0)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := reg(1)
+		if err != nil {
+			return nil, err
+		}
+		return []proto{p(isa.Inst{Op: isa.OpSLTU, Rd: rd, Rs2: rs})}, nil
+	case "sltz":
+		rd, err := reg(0)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := reg(1)
+		if err != nil {
+			return nil, err
+		}
+		return []proto{p(isa.Inst{Op: isa.OpSLT, Rd: rd, Rs1: rs})}, nil
+	case "sgtz":
+		rd, err := reg(0)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := reg(1)
+		if err != nil {
+			return nil, err
+		}
+		return []proto{p(isa.Inst{Op: isa.OpSLT, Rd: rd, Rs2: rs})}, nil
+	case "beqz", "bnez", "blez", "bgez", "bltz", "bgtz":
+		rs, err := reg(0)
+		if err != nil {
+			return nil, err
+		}
+		s, err := sym(1)
+		if err != nil {
+			return nil, err
+		}
+		var inst isa.Inst
+		switch m {
+		case "beqz":
+			inst = isa.Inst{Op: isa.OpBEQ, Rs1: rs}
+		case "bnez":
+			inst = isa.Inst{Op: isa.OpBNE, Rs1: rs}
+		case "blez":
+			inst = isa.Inst{Op: isa.OpBGE, Rs2: rs} // 0 >= rs
+		case "bgez":
+			inst = isa.Inst{Op: isa.OpBGE, Rs1: rs}
+		case "bltz":
+			inst = isa.Inst{Op: isa.OpBLT, Rs1: rs}
+		case "bgtz":
+			inst = isa.Inst{Op: isa.OpBLT, Rs2: rs} // 0 < rs
+		}
+		return []proto{{inst: inst, reloc: relocBranch, sym: s, line: ln}}, nil
+	case "bgt", "ble", "bgtu", "bleu":
+		rs, err := reg(0)
+		if err != nil {
+			return nil, err
+		}
+		rt, err := reg(1)
+		if err != nil {
+			return nil, err
+		}
+		s, err := sym(2)
+		if err != nil {
+			return nil, err
+		}
+		var op isa.Opcode
+		switch m {
+		case "bgt":
+			op = isa.OpBLT
+		case "ble":
+			op = isa.OpBGE
+		case "bgtu":
+			op = isa.OpBLTU
+		case "bleu":
+			op = isa.OpBGEU
+		}
+		// Operands swapped: bgt rs,rt = blt rt,rs.
+		return []proto{{inst: isa.Inst{Op: op, Rs1: rt, Rs2: rs}, reloc: relocBranch, sym: s, line: ln}}, nil
+	case "j":
+		s, err := sym(0)
+		if err != nil {
+			return nil, err
+		}
+		return []proto{{inst: isa.Inst{Op: isa.OpJAL, Rd: isa.Zero}, reloc: relocJal, sym: s, line: ln}}, nil
+	case "jr":
+		rs, err := reg(0)
+		if err != nil {
+			return nil, err
+		}
+		return []proto{p(isa.Inst{Op: isa.OpJALR, Rd: isa.Zero, Rs1: rs})}, nil
+	case "call":
+		s, err := sym(0)
+		if err != nil {
+			return nil, err
+		}
+		return []proto{{inst: isa.Inst{Op: isa.OpJAL, Rd: isa.RA}, reloc: relocJal, sym: s, line: ln}}, nil
+	case "tail":
+		s, err := sym(0)
+		if err != nil {
+			return nil, err
+		}
+		return []proto{{inst: isa.Inst{Op: isa.OpJAL, Rd: isa.Zero}, reloc: relocJal, sym: s, line: ln}}, nil
+	case "ret":
+		return []proto{p(isa.Inst{Op: isa.OpJALR, Rd: isa.Zero, Rs1: isa.RA})}, nil
+	}
+	return nil, errAt(ln, "unknown mnemonic %q", m)
+}
+
+// expandDirect handles real (non-pseudo) opcodes.
+func (a *assembler) expandDirect(op isa.Opcode, it item) ([]proto, error) {
+	args := it.args
+	ln := it.line
+	reg := func(s string) (isa.Reg, error) {
+		r, ok := isa.RegByName(s)
+		if !ok {
+			return 0, errAt(ln, "%s: bad register %q", op, s)
+		}
+		return r, nil
+	}
+	need := func(n int) error {
+		if len(args) != n {
+			return errAt(ln, "%s: want %d operands, got %d", op, n, len(args))
+		}
+		return nil
+	}
+
+	inst := isa.Inst{Op: op}
+	switch op.Format() {
+	case isa.FormatR:
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		var err error
+		if inst.Rd, err = reg(args[0]); err != nil {
+			return nil, err
+		}
+		if inst.Rs1, err = reg(args[1]); err != nil {
+			return nil, err
+		}
+		if inst.Rs2, err = reg(args[2]); err != nil {
+			return nil, err
+		}
+		return []proto{{inst: inst, line: ln}}, nil
+
+	case isa.FormatU:
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		var err error
+		if inst.Rd, err = reg(args[0]); err != nil {
+			return nil, err
+		}
+		if hiSym, ok := parseHiLo(args[1], "%hi"); ok {
+			return []proto{{inst: inst, reloc: relocHi, sym: hiSym, line: ln}}, nil
+		}
+		v, err := parseInt(args[1])
+		if err != nil {
+			return nil, errAt(ln, "%s: bad immediate %q", op, args[1])
+		}
+		inst.Imm = v << 12 // lui takes the upper-20 value in assembly
+		return []proto{{inst: inst, line: ln}}, nil
+
+	case isa.FormatJ:
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		var err error
+		if inst.Rd, err = reg(args[0]); err != nil {
+			return nil, err
+		}
+		if isIdent(args[1]) {
+			return []proto{{inst: inst, reloc: relocJal, sym: args[1], line: ln}}, nil
+		}
+		v, err := parseInt(args[1])
+		if err != nil {
+			return nil, errAt(ln, "%s: bad target %q", op, args[1])
+		}
+		inst.Imm = v
+		return []proto{{inst: inst, line: ln}}, nil
+
+	case isa.FormatB:
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		var err error
+		if inst.Rs1, err = reg(args[0]); err != nil {
+			return nil, err
+		}
+		if inst.Rs2, err = reg(args[1]); err != nil {
+			return nil, err
+		}
+		if isIdent(args[2]) {
+			return []proto{{inst: inst, reloc: relocBranch, sym: args[2], line: ln}}, nil
+		}
+		v, err := parseInt(args[2])
+		if err != nil {
+			return nil, errAt(ln, "%s: bad target %q", op, args[2])
+		}
+		inst.Imm = v
+		return []proto{{inst: inst, line: ln}}, nil
+
+	case isa.FormatS:
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		var err error
+		if inst.Rs2, err = reg(args[0]); err != nil {
+			return nil, err
+		}
+		off, base, err := parseMem(args[1], ln)
+		if err != nil {
+			return nil, err
+		}
+		inst.Rs1 = base
+		inst.Imm = off
+		return []proto{{inst: inst, line: ln}}, nil
+
+	case isa.FormatI:
+		switch {
+		case op == isa.OpECALL || op == isa.OpEBREAK || op == isa.OpFENCE:
+			if len(args) != 0 {
+				return nil, errAt(ln, "%s takes no operands", op)
+			}
+			return []proto{{inst: inst, line: ln}}, nil
+		case op.IsLoad() || op == isa.OpJALR:
+			if err := need(2); err != nil {
+				return nil, err
+			}
+			var err error
+			if inst.Rd, err = reg(args[0]); err != nil {
+				return nil, err
+			}
+			off, base, err := parseMem(args[1], ln)
+			if err != nil {
+				return nil, err
+			}
+			inst.Rs1 = base
+			inst.Imm = off
+			return []proto{{inst: inst, line: ln}}, nil
+		default: // register-immediate ALU
+			if err := need(3); err != nil {
+				return nil, err
+			}
+			var err error
+			if inst.Rd, err = reg(args[0]); err != nil {
+				return nil, err
+			}
+			if inst.Rs1, err = reg(args[1]); err != nil {
+				return nil, err
+			}
+			if loSym, ok := parseHiLo(args[2], "%lo"); ok && op == isa.OpADDI {
+				return []proto{{inst: inst, reloc: relocLo, sym: loSym, line: ln}}, nil
+			}
+			v, err := parseInt(args[2])
+			if err != nil {
+				return nil, errAt(ln, "%s: bad immediate %q", op, args[2])
+			}
+			inst.Imm = v
+			return []proto{{inst: inst, line: ln}}, nil
+		}
+	}
+	return nil, errAt(ln, "unsupported opcode %v", op)
+}
+
+// parseHiLo recognises %hi(sym) / %lo(sym) forms.
+func parseHiLo(s, kind string) (string, bool) {
+	if strings.HasPrefix(s, kind+"(") && strings.HasSuffix(s, ")") {
+		inner := s[len(kind)+1 : len(s)-1]
+		if isIdent(inner) {
+			return inner, true
+		}
+	}
+	return "", false
+}
+
+// parseMem parses "off(reg)", "(reg)" or "off" (base x0) memory operands.
+func parseMem(s string, ln int) (int64, isa.Reg, error) {
+	open := strings.IndexByte(s, '(')
+	if open < 0 {
+		v, err := parseInt(s)
+		if err != nil {
+			return 0, 0, errAt(ln, "bad memory operand %q", s)
+		}
+		return v, isa.Zero, nil
+	}
+	if !strings.HasSuffix(s, ")") {
+		return 0, 0, errAt(ln, "bad memory operand %q", s)
+	}
+	off := int64(0)
+	if open > 0 {
+		v, err := parseInt(s[:open])
+		if err != nil {
+			return 0, 0, errAt(ln, "bad memory offset %q", s[:open])
+		}
+		off = v
+	}
+	r, ok := isa.RegByName(s[open+1 : len(s)-1])
+	if !ok {
+		return 0, 0, errAt(ln, "bad base register in %q", s)
+	}
+	return off, r, nil
+}
+
+// expandLi produces the canonical load-immediate sequence for an arbitrary
+// 64-bit constant.
+func expandLi(rd isa.Reg, v int64) []isa.Inst {
+	if v >= -2048 && v < 2048 {
+		return []isa.Inst{{Op: isa.OpADDI, Rd: rd, Imm: v}}
+	}
+	if v == int64(int32(v)) {
+		hi := (uint32(v) + 0x800) & 0xfffff000
+		lo := int64(int32(uint32(v)-hi) << 20 >> 20)
+		insts := []isa.Inst{{Op: isa.OpLUI, Rd: rd, Imm: int64(int32(hi))}}
+		if lo != 0 {
+			insts = append(insts, isa.Inst{Op: isa.OpADDIW, Rd: rd, Rs1: rd, Imm: lo})
+		}
+		return insts
+	}
+	// General case: materialise the upper bits, shift, add the low 12 bits.
+	lo := v << 52 >> 52 // sign-extended low 12 bits
+	hi := (v - lo) >> 12
+	insts := expandLi(rd, hi)
+	insts = append(insts, isa.Inst{Op: isa.OpSLLI, Rd: rd, Rs1: rd, Imm: 12})
+	if lo != 0 {
+		insts = append(insts, isa.Inst{Op: isa.OpADDI, Rd: rd, Rs1: rd, Imm: lo})
+	}
+	return insts
+}

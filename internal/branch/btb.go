@@ -1,0 +1,99 @@
+package branch
+
+// BTB is a set-associative branch target buffer. The fetch stage needs it
+// to know the target of predicted-taken branches and indirect jumps; a
+// taken control transfer that misses in the BTB is a frontend redirect.
+type BTB struct {
+	sets    int
+	ways    int
+	entries []btbEntry // sets × ways
+	clock   uint64     // global access stamp for LRU
+}
+
+type btbEntry struct {
+	valid  bool
+	tag    uint64
+	target uint64
+	stamp  uint64 // last-access time; smallest is LRU
+}
+
+// NewBTB creates a BTB with the given geometry (both powers of two
+// recommended; sets must be > 0).
+func NewBTB(sets, ways int) *BTB {
+	return &BTB{sets: sets, ways: ways, entries: make([]btbEntry, sets*ways)}
+}
+
+func (b *BTB) set(pc uint64) []btbEntry {
+	idx := int((pc >> 2) % uint64(b.sets))
+	return b.entries[idx*b.ways : (idx+1)*b.ways]
+}
+
+// Lookup returns the cached target for pc.
+func (b *BTB) Lookup(pc uint64) (target uint64, ok bool) {
+	set := b.set(pc)
+	for i := range set {
+		if set[i].valid && set[i].tag == pc {
+			b.clock++
+			set[i].stamp = b.clock
+			return set[i].target, true
+		}
+	}
+	return 0, false
+}
+
+// Insert records the target for pc, evicting the LRU way if needed.
+func (b *BTB) Insert(pc, target uint64) {
+	set := b.set(pc)
+	victim := 0
+	for i := range set {
+		if set[i].valid && set[i].tag == pc {
+			victim = i
+			break
+		}
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].stamp < set[victim].stamp {
+			victim = i
+		}
+	}
+	b.clock++
+	set[victim] = btbEntry{valid: true, tag: pc, target: target, stamp: b.clock}
+}
+
+// RAS is a return address stack with wrap-around overflow, as in real
+// frontends (overflow silently overwrites the oldest entry).
+type RAS struct {
+	stack []uint64
+	top   int
+	depth int
+}
+
+// NewRAS creates a return address stack with the given capacity.
+func NewRAS(capacity int) *RAS {
+	return &RAS{stack: make([]uint64, capacity)}
+}
+
+// Push records a return address (on a call).
+func (r *RAS) Push(addr uint64) {
+	r.top = (r.top + 1) % len(r.stack)
+	r.stack[r.top] = addr
+	if r.depth < len(r.stack) {
+		r.depth++
+	}
+}
+
+// Pop predicts the return address (on a return). ok is false if empty.
+func (r *RAS) Pop() (addr uint64, ok bool) {
+	if r.depth == 0 {
+		return 0, false
+	}
+	addr = r.stack[r.top]
+	r.top = (r.top - 1 + len(r.stack)) % len(r.stack)
+	r.depth--
+	return addr, true
+}
+
+// Depth returns the number of live entries.
+func (r *RAS) Depth() int { return r.depth }

@@ -1,0 +1,153 @@
+package cache
+
+import "testing"
+
+func smallConfig() Config {
+	return Config{
+		LineSize:         64,
+		L1I:              LevelConfig{Name: "L1I", Sets: 4, Ways: 2, LineSize: 64, Latency: 1},
+		L1D:              LevelConfig{Name: "L1D", Sets: 4, Ways: 2, LineSize: 64, Latency: 5},
+		L2:               LevelConfig{Name: "L2", Sets: 16, Ways: 4, LineSize: 64, Latency: 13},
+		LLC:              LevelConfig{Name: "LLC", Sets: 64, Ways: 8, LineSize: 64, Latency: 40},
+		MemLatency:       200,
+		NextLinePrefetch: false,
+	}
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	h := New(smallConfig())
+	cold := h.DataLatency(0x1000, 8, 0)
+	// Cold miss goes all the way to memory: 5 + 13 + 40 + 200.
+	if cold != 258 {
+		t.Errorf("cold latency = %d, want 258", cold)
+	}
+	warm := h.DataLatency(0x1000, 8, 1000)
+	if warm != 5 {
+		t.Errorf("warm latency = %d, want 5", warm)
+	}
+}
+
+func TestSameLineSharesFill(t *testing.T) {
+	h := New(smallConfig())
+	h.DataLatency(0x1000, 8, 0)
+	if got := h.DataLatency(0x1020, 8, 1000); got != 5 {
+		t.Errorf("same-line access = %d, want 5 (line already filled)", got)
+	}
+}
+
+func TestL2HitAfterL1Eviction(t *testing.T) {
+	h := New(smallConfig())
+	// Fill the L1 set that address 0 maps to (4 sets × 64B = 256B stride),
+	// with more lines than L1 ways.
+	h.DataLatency(0, 8, 0)
+	h.DataLatency(256, 8, 1000)
+	h.DataLatency(512, 8, 2000) // evicts line 0 from L1 (2 ways)
+	got := h.DataLatency(0, 8, 3000)
+	if got != 5+13 {
+		t.Errorf("L2 hit latency = %d, want 18", got)
+	}
+}
+
+func TestLineCrossingBothHit(t *testing.T) {
+	h := New(smallConfig())
+	h.DataLatency(0x1000, 8, 0)           // fill line 0x40
+	h.DataLatency(0x1040, 8, 500)         // fill next line
+	got := h.DataLatency(0x103c, 8, 1000) // crosses the boundary
+	if got != 6 {
+		t.Errorf("crossing latency (both hit) = %d, want 6 (5+1)", got)
+	}
+}
+
+func TestLineCrossingSecondMisses(t *testing.T) {
+	h := New(smallConfig())
+	h.DataLatency(0x1000, 8, 0) // only the first line present
+	got := h.DataLatency(0x103c, 8, 1000)
+	if got <= 6 {
+		t.Errorf("crossing latency with second miss = %d, want full miss cost", got)
+	}
+}
+
+func TestMSHRMerge(t *testing.T) {
+	h := New(smallConfig())
+	first := h.DataLatency(0x2000, 8, 100)
+	// A second access to the same line 10 cycles later, while the fill is
+	// outstanding... but our model fills instantly on the books; the merge
+	// path is exercised via a second miss to the same line in the same
+	// window after an eviction-free lookup. Here we just verify monotone
+	// behaviour: the second access is never slower than the first.
+	second := h.DataLatency(0x2000, 8, 110)
+	if second > first {
+		t.Errorf("second access (%d) slower than first (%d)", second, first)
+	}
+}
+
+func TestPrefetchNextLine(t *testing.T) {
+	cfg := smallConfig()
+	cfg.NextLinePrefetch = true
+	h := New(cfg)
+	h.DataLatency(0x1000, 8, 0) // miss; prefetches 0x1040
+	if got := h.DataLatency(0x1040, 8, 1000); got != 5 {
+		t.Errorf("prefetched line latency = %d, want 5", got)
+	}
+}
+
+func TestFetchUsesL1I(t *testing.T) {
+	h := New(smallConfig())
+	h.FetchLatency(0x100, 0)
+	if h.L1I().Misses != 1 {
+		t.Errorf("L1I misses = %d, want 1", h.L1I().Misses)
+	}
+	h.FetchLatency(0x104, 10)
+	if h.L1I().Hits != 1 {
+		t.Errorf("L1I hits = %d, want 1", h.L1I().Hits)
+	}
+	if h.L1D().Hits+h.L1D().Misses != 0 {
+		t.Error("fetch must not touch L1D")
+	}
+}
+
+func TestLRUReplacement(t *testing.T) {
+	cfg := smallConfig()
+	h := New(cfg)
+	// Three lines mapping to the same 2-way L1D set.
+	a, b, c := uint64(0), uint64(256), uint64(512)
+	h.DataLatency(a, 8, 0)
+	h.DataLatency(b, 8, 100)
+	h.DataLatency(a, 8, 200) // touch a: b becomes LRU
+	h.DataLatency(c, 8, 300) // evicts b
+	if !h.L1D().Contains(a) {
+		t.Error("a should still be in L1D")
+	}
+	if h.L1D().Contains(b) {
+		t.Error("b should have been evicted")
+	}
+	if !h.L1D().Contains(c) {
+		t.Error("c should be in L1D")
+	}
+}
+
+func TestDefaultConfigGeometry(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.L1D.Sets*cfg.L1D.Ways*int(cfg.L1D.LineSize) != 48*1024 {
+		t.Errorf("L1D size = %d, want 48 KiB", cfg.L1D.Sets*cfg.L1D.Ways*int(cfg.L1D.LineSize))
+	}
+	if cfg.L2.Sets*cfg.L2.Ways*int(cfg.L2.LineSize) != 512*1024 {
+		t.Error("L2 size wrong")
+	}
+	if cfg.LLC.Sets*cfg.LLC.Ways*int(cfg.LLC.LineSize) != 2*1024*1024 {
+		t.Error("LLC size wrong")
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	h := New(smallConfig())
+	for i := 0; i < 10; i++ {
+		h.DataLatency(uint64(i*4), 4, uint64(i*10)) // all within line 0
+	}
+	if h.L1D().Hits+h.L1D().Misses != 10 {
+		t.Errorf("accesses = %d, want 10", h.L1D().Hits+h.L1D().Misses)
+	}
+	if h.L1D().Misses != 1 {
+		t.Errorf("misses = %d, want 1 (all within one line)", h.L1D().Misses)
+	}
+}

@@ -1,0 +1,126 @@
+// Package core is the library facade: it wires workloads, the functional
+// emulator and the out-of-order pipeline together, runs the paper's six
+// fusion configurations, and caches results for the experiment drivers.
+//
+// Typical use:
+//
+//	w, _ := workloads.ByName("crc32")
+//	res, err := core.Run(w, fusion.ModeHelios, 0)
+//	fmt.Println(res.Stats.IPC())
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"helios/internal/fusion"
+	"helios/internal/ooo"
+	"helios/internal/workloads"
+)
+
+// Result is the outcome of simulating one workload under one fusion mode.
+type Result struct {
+	Workload string
+	Mode     fusion.Mode
+	Stats    ooo.Stats
+}
+
+// Run simulates workload w under the given fusion mode for maxInsts
+// architectural instructions (0 = the workload's own budget).
+func Run(w workloads.Workload, mode fusion.Mode, maxInsts uint64) (*Result, error) {
+	cfg := ooo.DefaultConfig(mode)
+	return RunConfig(w, cfg, maxInsts)
+}
+
+// RunConfig simulates with an explicit machine configuration.
+func RunConfig(w workloads.Workload, cfg ooo.Config, maxInsts uint64) (*Result, error) {
+	if maxInsts == 0 {
+		maxInsts = w.MaxInsts
+	}
+	cfg.MaxUops = maxInsts
+	stream, err := w.Stream(0) // the pipeline bounds commits itself
+	if err != nil {
+		return nil, err
+	}
+	p := ooo.New(cfg, stream)
+	st, err := p.Run()
+	if err != nil {
+		return nil, fmt.Errorf("core: %s/%v: %w", w.Name, cfg.Mode, err)
+	}
+	return &Result{Workload: w.Name, Mode: cfg.Mode, Stats: *st}, nil
+}
+
+// Suite runs and caches simulations across workloads and modes, fanning
+// out across CPUs. The zero value is not usable; use NewSuite.
+type Suite struct {
+	MaxInsts uint64 // per-run instruction budget (0 = workload default)
+
+	mu    sync.Mutex
+	cache map[suiteKey]*Result
+	errs  map[suiteKey]error
+}
+
+type suiteKey struct {
+	workload string
+	mode     fusion.Mode
+}
+
+// NewSuite creates a result cache with the given per-run budget.
+func NewSuite(maxInsts uint64) *Suite {
+	return &Suite{
+		MaxInsts: maxInsts,
+		cache:    make(map[suiteKey]*Result),
+		errs:     make(map[suiteKey]error),
+	}
+}
+
+// Get returns the (cached) result for one workload/mode pair.
+func (s *Suite) Get(name string, mode fusion.Mode) (*Result, error) {
+	s.mu.Lock()
+	if r, ok := s.cache[suiteKey{name, mode}]; ok {
+		err := s.errs[suiteKey{name, mode}]
+		s.mu.Unlock()
+		return r, err
+	}
+	s.mu.Unlock()
+
+	w, ok := workloads.ByName(name)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown workload %q", name)
+	}
+	r, err := Run(w, mode, s.MaxInsts)
+	s.mu.Lock()
+	s.cache[suiteKey{name, mode}] = r
+	s.errs[suiteKey{name, mode}] = err
+	s.mu.Unlock()
+	return r, err
+}
+
+// Prefetch runs every workload under each mode in parallel, filling the
+// cache. Errors surface on the corresponding Get.
+func (s *Suite) Prefetch(names []string, modes []fusion.Mode) {
+	type job struct {
+		name string
+		mode fusion.Mode
+	}
+	jobs := make(chan job)
+	var wg sync.WaitGroup
+	workers := runtime.GOMAXPROCS(0)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				s.Get(j.name, j.mode) //nolint:errcheck // cached, surfaced later
+			}
+		}()
+	}
+	for _, n := range names {
+		for _, m := range modes {
+			jobs <- job{n, m}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+}

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"helios/internal/fusion"
+	"helios/internal/workloads"
+)
+
+func TestRunOneWorkload(t *testing.T) {
+	w, ok := workloads.ByName("crc32")
+	if !ok {
+		t.Fatal("crc32 missing")
+	}
+	r, err := Run(w, fusion.ModeNoFusion, 30_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Workload != "crc32" || r.Mode != fusion.ModeNoFusion {
+		t.Errorf("result metadata wrong: %+v", r)
+	}
+	if r.Stats.CommittedInsts < 29_000 {
+		t.Errorf("committed %d, want ≈ 30000", r.Stats.CommittedInsts)
+	}
+	if r.Stats.IPC() <= 0 {
+		t.Error("IPC must be positive")
+	}
+}
+
+func TestSuiteCaches(t *testing.T) {
+	s := NewSuite(20_000)
+	a, err := s.Get("crc32", fusion.ModeNoFusion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Get("crc32", fusion.ModeNoFusion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("second Get should return the cached result pointer")
+	}
+}
+
+func TestSuiteUnknownWorkload(t *testing.T) {
+	s := NewSuite(1000)
+	if _, err := s.Get("nope", fusion.ModeNoFusion); err == nil {
+		t.Error("unknown workload must error")
+	}
+}
+
+func TestPrefetchFillsCache(t *testing.T) {
+	s := NewSuite(10_000)
+	names := []string{"crc32", "sha"}
+	modes := []fusion.Mode{fusion.ModeNoFusion, fusion.ModeHelios}
+	s.Prefetch(names, modes)
+	var hits int64
+	for _, n := range names {
+		for _, m := range modes {
+			if r, err := s.Get(n, m); err == nil && r != nil {
+				atomic.AddInt64(&hits, 1)
+			}
+		}
+	}
+	if hits != 4 {
+		t.Errorf("cached results = %d, want 4", hits)
+	}
+}
+
+func TestDeterministicResults(t *testing.T) {
+	w, _ := workloads.ByName("sha")
+	a, err := Run(w, fusion.ModeHelios, 25_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(w, fusion.ModeHelios, 25_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Stats != b.Stats {
+		t.Errorf("non-deterministic simulation:\n%+v\n%+v", a.Stats, b.Stats)
+	}
+}

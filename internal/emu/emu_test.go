@@ -1,0 +1,328 @@
+package emu
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"helios/internal/asm"
+	"helios/internal/isa"
+)
+
+func run(t *testing.T, src string, max uint64) *Machine {
+	t.Helper()
+	p, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	m := New(p)
+	if _, err := m.Run(max); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return m
+}
+
+func TestArithmeticProgram(t *testing.T) {
+	m := run(t, `
+	_start:
+		li a0, 6
+		li a1, 7
+		mul a2, a0, a1
+		li a7, 93
+		mv a0, a2
+		ecall
+	`, 100)
+	if !m.Halted() || m.ExitCode() != 42 {
+		t.Fatalf("halted=%v exit=%d, want 42", m.Halted(), m.ExitCode())
+	}
+}
+
+func TestLoopSum(t *testing.T) {
+	// Sum 1..100 = 5050.
+	m := run(t, `
+	_start:
+		li t0, 100
+		li t1, 0
+	loop:
+		add t1, t1, t0
+		addi t0, t0, -1
+		bnez t0, loop
+		mv a0, t1
+		li a7, 93
+		ecall
+	`, 10000)
+	if m.ExitCode() != 5050 {
+		t.Fatalf("exit = %d, want 5050", m.ExitCode())
+	}
+}
+
+func TestMemoryReadWrite(t *testing.T) {
+	m := run(t, `
+		.data
+	buf:
+		.zero 64
+		.text
+	_start:
+		la a0, buf
+		li t0, 0x1122334455667788
+		sd t0, 0(a0)
+		lw t1, 0(a0)       # sign-extended low word
+		lwu t2, 4(a0)      # zero-extended high word
+		lb t3, 7(a0)       # 0x11
+		lbu t4, 3(a0)      # 0x55
+		lh t5, 0(a0)       # 0x7788 sign-extended
+		mv a0, zero
+		li a7, 93
+		ecall
+	`, 100)
+	want := map[isa.Reg]uint64{
+		isa.T1: uint64(int64(int32(0x55667788))),
+		isa.T2: 0x11223344,
+		isa.T3: 0x11,
+		isa.T4: 0x55,
+		isa.T5: 0x7788,
+	}
+	for r, v := range want {
+		if m.Regs[r] != v {
+			t.Errorf("%v = %#x, want %#x", r, m.Regs[r], v)
+		}
+	}
+}
+
+func TestWriteSyscall(t *testing.T) {
+	m := run(t, `
+		.data
+	msg:
+		.ascii "hello"
+		.text
+	_start:
+		li a7, 64
+		li a0, 1
+		la a1, msg
+		li a2, 5
+		ecall
+		li a7, 93
+		li a0, 0
+		ecall
+	`, 100)
+	if m.Output() != "hello" {
+		t.Fatalf("output = %q, want hello", m.Output())
+	}
+}
+
+func TestDivisionCornerCases(t *testing.T) {
+	m := run(t, `
+	_start:
+		li t0, 10
+		li t1, 0
+		div t2, t0, t1      # -1
+		rem t3, t0, t1      # 10
+		divu t4, t0, t1     # all ones
+		li t5, -9223372036854775808
+		li t6, -1
+		div s2, t5, t6      # MinInt64
+		rem s3, t5, t6      # 0
+		li a7, 93
+		li a0, 0
+		ecall
+	`, 100)
+	if got := int64(m.Regs[isa.T2]); got != -1 {
+		t.Errorf("div by zero = %d, want -1", got)
+	}
+	if got := m.Regs[isa.T3]; got != 10 {
+		t.Errorf("rem by zero = %d, want 10", got)
+	}
+	if got := m.Regs[isa.T4]; got != math.MaxUint64 {
+		t.Errorf("divu by zero = %#x", got)
+	}
+	if got := int64(m.Regs[isa.S2]); got != math.MinInt64 {
+		t.Errorf("overflow div = %d", got)
+	}
+	if got := m.Regs[isa.S3]; got != 0 {
+		t.Errorf("overflow rem = %d", got)
+	}
+}
+
+func TestMulHigh(t *testing.T) {
+	// Compare the helpers against big-integer reference logic via quick.
+	f := func(a, b int64) bool {
+		// mulhu reference using 32-bit limbs.
+		ref := func(x, y uint64) uint64 {
+			x0, x1 := x&0xffffffff, x>>32
+			y0, y1 := y&0xffffffff, y>>32
+			mid := x0*y0>>32 + x0*y1&0xffffffff + x1*y0&0xffffffff
+			return x1*y1 + x0*y1>>32 + x1*y0>>32 + mid>>32
+		}
+		if mulhu(uint64(a), uint64(b)) != ref(uint64(a), uint64(b)) {
+			return false
+		}
+		// mulh must satisfy (hi,lo) == a*b over 128 bits: check via identity
+		// hi = mulhu(a,b) - (a<0 ? b : 0) - (b<0 ? a : 0).
+		want := mulhu(uint64(a), uint64(b))
+		if a < 0 {
+			want -= uint64(b)
+		}
+		if b < 0 {
+			want -= uint64(a)
+		}
+		return mulh(a, b) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Golden cases.
+	if mulh(-1, -1) != 0 {
+		t.Errorf("mulh(-1,-1) = %#x, want 0", mulh(-1, -1))
+	}
+	if mulh(math.MinInt64, -1) != 0 { // product is +2^63: high half is 0
+		t.Errorf("mulh(min,-1) = %#x, want 0", mulh(math.MinInt64, -1))
+	}
+	if mulh(math.MinInt64, 2) != ^uint64(0) { // product is -2^64: high half is -1
+		t.Errorf("mulh(min,2) = %#x, want all-ones", mulh(math.MinInt64, 2))
+	}
+	if mulhsu(-1, 1) != math.MaxUint64 {
+		t.Errorf("mulhsu(-1,1) = %#x", mulhsu(-1, 1))
+	}
+}
+
+func TestRetiredRecords(t *testing.T) {
+	p, err := asm.Assemble(`
+	_start:
+		li t0, 4
+	loop:
+		addi t0, t0, -1
+		bnez t0, loop
+		ld a0, 0(sp)
+		sd a0, 8(sp)
+		li a7, 93
+		ecall
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(p)
+	var recs []Retired
+	for !m.Halted() {
+		r, err := m.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs = append(recs, r)
+	}
+	// Sequence numbers are dense and ordered.
+	for i, r := range recs {
+		if r.Seq != uint64(i) {
+			t.Fatalf("rec %d has seq %d", i, r.Seq)
+		}
+	}
+	// The backward branch is taken 3 times, not-taken once.
+	taken, notTaken := 0, 0
+	for _, r := range recs {
+		if r.Inst.Op == isa.OpBNE {
+			if r.Taken {
+				taken++
+			} else {
+				notTaken++
+			}
+		}
+	}
+	if taken != 3 || notTaken != 1 {
+		t.Errorf("branch outcomes taken=%d notTaken=%d, want 3/1", taken, notTaken)
+	}
+	// Loads and stores carry effective addresses.
+	var sawLoad, sawStore bool
+	for _, r := range recs {
+		if r.IsLoad() {
+			sawLoad = true
+			if r.EA != asm.StackTop || r.MemSize != 8 {
+				t.Errorf("load EA=%#x size=%d", r.EA, r.MemSize)
+			}
+		}
+		if r.IsStore() {
+			sawStore = true
+			if r.EA != asm.StackTop+8 {
+				t.Errorf("store EA=%#x", r.EA)
+			}
+		}
+	}
+	if !sawLoad || !sawStore {
+		t.Error("missing load/store records")
+	}
+}
+
+func TestX0AlwaysZero(t *testing.T) {
+	m := run(t, `
+	_start:
+		li t0, 99
+		add zero, t0, t0
+		addi zero, zero, 55
+		mv a0, zero
+		li a7, 93
+		ecall
+	`, 100)
+	if m.ExitCode() != 0 {
+		t.Fatalf("exit = %d, want 0 (x0 must stay zero)", m.ExitCode())
+	}
+}
+
+func TestMemorySparseness(t *testing.T) {
+	mem := NewMemory()
+	if got := mem.Read(0xdeadbeef, 8); got != 0 {
+		t.Errorf("unmapped read = %#x", got)
+	}
+	if mem.MappedPages() != 0 {
+		t.Error("read allocated a page")
+	}
+	mem.Write(0xfff, 8, 0x0102030405060708) // crosses a page boundary
+	if got := mem.Read(0xfff, 8); got != 0x0102030405060708 {
+		t.Errorf("cross-page read = %#x", got)
+	}
+	if mem.MappedPages() != 2 {
+		t.Errorf("pages = %d, want 2", mem.MappedPages())
+	}
+}
+
+func TestMemoryLastWriteWins(t *testing.T) {
+	f := func(addr uint64, a, b uint64) bool {
+		addr &= 0xffffff
+		mem := NewMemory()
+		mem.Write(addr, 8, a)
+		mem.Write(addr, 8, b)
+		return mem.Read(addr, 8) == b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBound(t *testing.T) {
+	p, err := asm.Assemble("spin:\n j spin\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(p)
+	n, err := m.Run(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1000 || m.Halted() {
+		t.Fatalf("n=%d halted=%v; want bound respected", n, m.Halted())
+	}
+}
+
+func TestJalrFunctionCall(t *testing.T) {
+	m := run(t, `
+	_start:
+		li a0, 5
+		call double
+		call double
+		li a7, 93
+		ecall
+	double:
+		slli a0, a0, 1
+		ret
+	`, 100)
+	if m.ExitCode() != 20 {
+		t.Fatalf("exit = %d, want 20", m.ExitCode())
+	}
+}

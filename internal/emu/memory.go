@@ -1,0 +1,113 @@
+// Package emu implements a user-level functional emulator for the RV64IM
+// subset. It plays the role Spike plays in the paper: it executes the
+// program architecturally and produces the committed dynamic instruction
+// stream — with effective addresses and branch outcomes — that is injected
+// into the cycle-level out-of-order model in internal/ooo.
+package emu
+
+// pageBits selects a 4 KiB page granule for the sparse memory map.
+const (
+	pageBits = 12
+	pageSize = 1 << pageBits
+	pageMask = pageSize - 1
+)
+
+type page [pageSize]byte
+
+// Memory is a sparse little-endian byte-addressable memory. Reads of
+// unmapped addresses return zero; writes allocate pages on demand.
+type Memory struct {
+	pages map[uint64]*page
+}
+
+// NewMemory returns an empty memory.
+func NewMemory() *Memory {
+	return &Memory{pages: make(map[uint64]*page)}
+}
+
+func (m *Memory) pageFor(addr uint64, alloc bool) *page {
+	pn := addr >> pageBits
+	p := m.pages[pn]
+	if p == nil && alloc {
+		p = new(page)
+		m.pages[pn] = p
+	}
+	return p
+}
+
+// LoadByte returns the byte at addr.
+func (m *Memory) LoadByte(addr uint64) byte {
+	p := m.pageFor(addr, false)
+	if p == nil {
+		return 0
+	}
+	return p[addr&pageMask]
+}
+
+// StoreByte stores b at addr.
+func (m *Memory) StoreByte(addr uint64, b byte) {
+	m.pageFor(addr, true)[addr&pageMask] = b
+}
+
+// Read returns size bytes starting at addr as a little-endian unsigned
+// integer. size must be 1, 2, 4 or 8; accesses may cross page boundaries.
+func (m *Memory) Read(addr uint64, size uint8) uint64 {
+	var v uint64
+	// Fast path: within one page.
+	off := addr & pageMask
+	if off+uint64(size) <= pageSize {
+		p := m.pageFor(addr, false)
+		if p == nil {
+			return 0
+		}
+		switch size {
+		case 1:
+			return uint64(p[off])
+		case 2:
+			return uint64(p[off]) | uint64(p[off+1])<<8
+		case 4:
+			return uint64(p[off]) | uint64(p[off+1])<<8 | uint64(p[off+2])<<16 | uint64(p[off+3])<<24
+		case 8:
+			return uint64(p[off]) | uint64(p[off+1])<<8 | uint64(p[off+2])<<16 | uint64(p[off+3])<<24 |
+				uint64(p[off+4])<<32 | uint64(p[off+5])<<40 | uint64(p[off+6])<<48 | uint64(p[off+7])<<56
+		}
+	}
+	for i := uint8(0); i < size; i++ {
+		v |= uint64(m.LoadByte(addr+uint64(i))) << (8 * i)
+	}
+	return v
+}
+
+// Write stores the low size bytes of v at addr, little-endian.
+func (m *Memory) Write(addr uint64, size uint8, v uint64) {
+	off := addr & pageMask
+	if off+uint64(size) <= pageSize {
+		p := m.pageFor(addr, true)
+		for i := uint8(0); i < size; i++ {
+			p[off+uint64(i)] = byte(v >> (8 * i))
+		}
+		return
+	}
+	for i := uint8(0); i < size; i++ {
+		m.StoreByte(addr+uint64(i), byte(v>>(8*i)))
+	}
+}
+
+// StoreBytes copies buf into memory starting at addr.
+func (m *Memory) StoreBytes(addr uint64, buf []byte) {
+	for i, b := range buf {
+		m.StoreByte(addr+uint64(i), b)
+	}
+}
+
+// LoadBytes copies n bytes starting at addr into a new slice.
+func (m *Memory) LoadBytes(addr uint64, n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = m.LoadByte(addr + uint64(i))
+	}
+	return out
+}
+
+// MappedPages returns the number of allocated pages (for tests/stats).
+func (m *Memory) MappedPages() int { return len(m.pages) }

@@ -1,0 +1,318 @@
+package emu
+
+import (
+	"math/rand"
+	"testing"
+
+	"helios/internal/asm"
+	"helios/internal/isa"
+)
+
+// refALU is the Go-semantics reference for every register-register and
+// register-immediate RV64IM operation the emulator implements.
+func refALU(op isa.Opcode, a, b uint64, imm int64) (uint64, bool) {
+	switch op {
+	case isa.OpADDI:
+		return a + uint64(imm), true
+	case isa.OpSLTI:
+		return b2u(int64(a) < imm), true
+	case isa.OpSLTIU:
+		return b2u(a < uint64(imm)), true
+	case isa.OpXORI:
+		return a ^ uint64(imm), true
+	case isa.OpORI:
+		return a | uint64(imm), true
+	case isa.OpANDI:
+		return a & uint64(imm), true
+	case isa.OpSLLI:
+		return a << uint(imm), true
+	case isa.OpSRLI:
+		return a >> uint(imm), true
+	case isa.OpSRAI:
+		return uint64(int64(a) >> uint(imm)), true
+	case isa.OpADDIW:
+		return sext32(uint32(a) + uint32(imm)), true
+	case isa.OpSLLIW:
+		return sext32(uint32(a) << uint(imm)), true
+	case isa.OpSRLIW:
+		return sext32(uint32(a) >> uint(imm)), true
+	case isa.OpSRAIW:
+		return uint64(int64(int32(a) >> uint(imm))), true
+	case isa.OpADD:
+		return a + b, true
+	case isa.OpSUB:
+		return a - b, true
+	case isa.OpSLL:
+		return a << (b & 63), true
+	case isa.OpSLT:
+		return b2u(int64(a) < int64(b)), true
+	case isa.OpSLTU:
+		return b2u(a < b), true
+	case isa.OpXOR:
+		return a ^ b, true
+	case isa.OpSRL:
+		return a >> (b & 63), true
+	case isa.OpSRA:
+		return uint64(int64(a) >> (b & 63)), true
+	case isa.OpOR:
+		return a | b, true
+	case isa.OpAND:
+		return a & b, true
+	case isa.OpADDW:
+		return sext32(uint32(a) + uint32(b)), true
+	case isa.OpSUBW:
+		return sext32(uint32(a) - uint32(b)), true
+	case isa.OpSLLW:
+		return sext32(uint32(a) << (b & 31)), true
+	case isa.OpSRLW:
+		return sext32(uint32(a) >> (b & 31)), true
+	case isa.OpSRAW:
+		return uint64(int64(int32(a) >> (b & 31))), true
+	case isa.OpMUL:
+		return a * b, true
+	case isa.OpMULH:
+		return mulh(int64(a), int64(b)), true
+	case isa.OpMULHSU:
+		return mulhsu(int64(a), b), true
+	case isa.OpMULHU:
+		return mulhu(a, b), true
+	case isa.OpDIV:
+		return uint64(divS(int64(a), int64(b))), true
+	case isa.OpDIVU:
+		return divU(a, b), true
+	case isa.OpREM:
+		return uint64(remS(int64(a), int64(b))), true
+	case isa.OpREMU:
+		return remU(a, b), true
+	case isa.OpMULW:
+		return sext32(uint32(a) * uint32(b)), true
+	case isa.OpDIVW:
+		return uint64(int64(int32(divS(int64(int32(a)), int64(int32(b)))))), true
+	case isa.OpDIVUW:
+		return sext32(uint32(divU(uint64(uint32(a)), uint64(uint32(b))))), true
+	case isa.OpREMW:
+		return uint64(int64(int32(remS(int64(int32(a)), int64(int32(b)))))), true
+	case isa.OpREMUW:
+		return sext32(uint32(remU(uint64(uint32(a)), uint64(uint32(b))))), true
+	}
+	return 0, false
+}
+
+// TestEveryALUOpcode executes each ALU/M opcode on random operands through
+// the full machine (not just helpers) and checks against the reference.
+func TestEveryALUOpcode(t *testing.T) {
+	ops := []isa.Opcode{
+		isa.OpADDI, isa.OpSLTI, isa.OpSLTIU, isa.OpXORI, isa.OpORI, isa.OpANDI,
+		isa.OpSLLI, isa.OpSRLI, isa.OpSRAI, isa.OpADDIW, isa.OpSLLIW,
+		isa.OpSRLIW, isa.OpSRAIW,
+		isa.OpADD, isa.OpSUB, isa.OpSLL, isa.OpSLT, isa.OpSLTU, isa.OpXOR,
+		isa.OpSRL, isa.OpSRA, isa.OpOR, isa.OpAND, isa.OpADDW, isa.OpSUBW,
+		isa.OpSLLW, isa.OpSRLW, isa.OpSRAW,
+		isa.OpMUL, isa.OpMULH, isa.OpMULHSU, isa.OpMULHU, isa.OpDIV,
+		isa.OpDIVU, isa.OpREM, isa.OpREMU, isa.OpMULW, isa.OpDIVW,
+		isa.OpDIVUW, isa.OpREMW, isa.OpREMUW,
+	}
+	r := rand.New(rand.NewSource(314159))
+	for _, op := range ops {
+		for trial := 0; trial < 50; trial++ {
+			a := r.Uint64()
+			bv := r.Uint64()
+			switch trial {
+			case 0:
+				a, bv = 0, 0
+			case 1:
+				a, bv = ^uint64(0), ^uint64(0)
+			case 2:
+				a, bv = 1<<63, ^uint64(0) // MinInt64 / -1
+			case 3:
+				bv = 0 // division by zero
+			}
+			var imm int64
+			inst := isa.Inst{Op: op, Rd: isa.A0, Rs1: isa.A1, Rs2: isa.A2}
+			switch op {
+			case isa.OpSLLI, isa.OpSRLI, isa.OpSRAI:
+				imm = int64(r.Intn(64))
+			case isa.OpSLLIW, isa.OpSRLIW, isa.OpSRAIW:
+				imm = int64(r.Intn(32))
+			default:
+				if op.Format() == isa.FormatI {
+					imm = int64(r.Intn(4096) - 2048)
+				}
+			}
+			inst.Imm = imm
+
+			// Assemble a 3-instruction program around the op.
+			prog := &asm.Program{
+				TextBase: asm.DefaultTextBase,
+				DataBase: asm.DefaultDataBase,
+				Entry:    asm.DefaultTextBase,
+				Text: []uint32{
+					isa.MustEncode(inst),
+					isa.MustEncode(isa.Inst{Op: isa.OpECALL}),
+				},
+				Symbols: map[string]uint64{},
+			}
+			m := New(prog)
+			m.Regs[isa.A1] = a
+			m.Regs[isa.A2] = bv
+			m.Regs[isa.A7] = SysExit
+			if _, err := m.Run(10); err != nil {
+				t.Fatalf("%v: %v", op, err)
+			}
+			want, ok := refALU(op, a, bv, imm)
+			if !ok {
+				t.Fatalf("no reference for %v", op)
+			}
+			if got := m.Regs[isa.A0]; got != want {
+				t.Errorf("%v a=%#x b=%#x imm=%d: got %#x, want %#x",
+					op, a, bv, imm, got, want)
+			}
+		}
+	}
+}
+
+// TestLoadStoreWidths round-trips every access width, signed and unsigned,
+// at every alignment inside a line.
+func TestLoadStoreWidths(t *testing.T) {
+	pairs := []struct {
+		store isa.Opcode
+		load  isa.Opcode
+		size  uint8
+		sext  bool
+	}{
+		{isa.OpSB, isa.OpLB, 1, true},
+		{isa.OpSB, isa.OpLBU, 1, false},
+		{isa.OpSH, isa.OpLH, 2, true},
+		{isa.OpSH, isa.OpLHU, 2, false},
+		{isa.OpSW, isa.OpLW, 4, true},
+		{isa.OpSW, isa.OpLWU, 4, false},
+		{isa.OpSD, isa.OpLD, 8, true},
+	}
+	r := rand.New(rand.NewSource(27182))
+	for _, pc := range pairs {
+		for off := int64(0); off < 16; off++ {
+			v := r.Uint64()
+			prog := &asm.Program{
+				TextBase: asm.DefaultTextBase,
+				DataBase: asm.DefaultDataBase,
+				Entry:    asm.DefaultTextBase,
+				Text: []uint32{
+					isa.MustEncode(isa.Inst{Op: pc.store, Rs1: isa.A1, Rs2: isa.A2, Imm: off}),
+					isa.MustEncode(isa.Inst{Op: pc.load, Rd: isa.A0, Rs1: isa.A1, Imm: off}),
+					isa.MustEncode(isa.Inst{Op: isa.OpECALL}),
+				},
+				Symbols: map[string]uint64{},
+			}
+			m := New(prog)
+			m.Regs[isa.A1] = asm.DefaultDataBase + 64
+			m.Regs[isa.A2] = v
+			m.Regs[isa.A7] = SysExit
+			if _, err := m.Run(10); err != nil {
+				t.Fatalf("%v/%v: %v", pc.store, pc.load, err)
+			}
+			mask := ^uint64(0)
+			if pc.size < 8 {
+				mask = 1<<(8*pc.size) - 1
+			}
+			want := v & mask
+			if pc.sext && pc.size < 8 {
+				shift := 64 - 8*uint(pc.size)
+				want = uint64(int64(want<<shift) >> shift)
+			}
+			if got := m.Regs[isa.A0]; got != want {
+				t.Errorf("%v/%v off=%d: got %#x, want %#x", pc.store, pc.load, off, got, want)
+			}
+		}
+	}
+}
+
+// TestBranchSemantics checks every conditional branch both ways.
+func TestBranchSemantics(t *testing.T) {
+	cases := []struct {
+		op    isa.Opcode
+		a, b  uint64
+		taken bool
+	}{
+		{isa.OpBEQ, 5, 5, true},
+		{isa.OpBEQ, 5, 6, false},
+		{isa.OpBNE, 5, 6, true},
+		{isa.OpBNE, 5, 5, false},
+		{isa.OpBLT, ^uint64(0), 1, true},  // -1 < 1 signed
+		{isa.OpBLT, 1, ^uint64(0), false}, // 1 < -1 signed
+		{isa.OpBGE, 1, ^uint64(0), true},
+		{isa.OpBGE, ^uint64(0), 1, false},
+		{isa.OpBLTU, 1, ^uint64(0), true}, // 1 < max unsigned
+		{isa.OpBLTU, ^uint64(0), 1, false},
+		{isa.OpBGEU, ^uint64(0), 1, true},
+		{isa.OpBGEU, 1, ^uint64(0), false},
+	}
+	for _, c := range cases {
+		prog := &asm.Program{
+			TextBase: asm.DefaultTextBase,
+			DataBase: asm.DefaultDataBase,
+			Entry:    asm.DefaultTextBase,
+			Text: []uint32{
+				isa.MustEncode(isa.Inst{Op: c.op, Rs1: isa.A1, Rs2: isa.A2, Imm: 8}),
+				isa.MustEncode(isa.Inst{Op: isa.OpADDI, Rd: isa.A0, Imm: 1}), // skipped if taken
+				isa.MustEncode(isa.Inst{Op: isa.OpECALL}),
+			},
+			Symbols: map[string]uint64{},
+		}
+		m := New(prog)
+		m.Regs[isa.A1] = c.a
+		m.Regs[isa.A2] = c.b
+		m.Regs[isa.A7] = SysExit
+		if _, err := m.Run(10); err != nil {
+			t.Fatalf("%v: %v", c.op, err)
+		}
+		skipped := m.Regs[isa.A0] == 0
+		if skipped != c.taken {
+			t.Errorf("%v a=%#x b=%#x: taken=%v, want %v", c.op, c.a, c.b, skipped, c.taken)
+		}
+	}
+}
+
+// TestUnknownSyscallReturnsError checks the strict-sandbox behaviour.
+func TestUnknownSyscallReturnsError(t *testing.T) {
+	prog := &asm.Program{
+		TextBase: asm.DefaultTextBase,
+		DataBase: asm.DefaultDataBase,
+		Entry:    asm.DefaultTextBase,
+		Text: []uint32{
+			isa.MustEncode(isa.Inst{Op: isa.OpECALL}),
+			isa.MustEncode(isa.Inst{Op: isa.OpECALL}),
+		},
+		Symbols: map[string]uint64{},
+	}
+	m := New(prog)
+	m.Regs[isa.A7] = 9999 // unknown
+	r, err := m.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = r
+	if m.Regs[isa.A0] != ^uint64(0) {
+		t.Errorf("unknown syscall returned %#x, want -1", m.Regs[isa.A0])
+	}
+	if m.Halted() {
+		t.Error("unknown syscall must not halt")
+	}
+}
+
+// TestEbreakHalts checks the debugger-trap path.
+func TestEbreakHalts(t *testing.T) {
+	prog := &asm.Program{
+		TextBase: asm.DefaultTextBase,
+		DataBase: asm.DefaultDataBase,
+		Entry:    asm.DefaultTextBase,
+		Text:     []uint32{isa.MustEncode(isa.Inst{Op: isa.OpEBREAK})},
+		Symbols:  map[string]uint64{},
+	}
+	m := New(prog)
+	if _, err := m.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Halted() || m.ExitCode() != -1 {
+		t.Errorf("ebreak: halted=%v exit=%d", m.Halted(), m.ExitCode())
+	}
+}

@@ -1,0 +1,188 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"helios/internal/workloads"
+)
+
+// smallHarness runs with a reduced budget and a workload subset so every
+// experiment stays fast in unit tests.
+func smallHarness() *Harness {
+	h := New(25_000)
+	h.Workloads = []string{"crc32", "sha", "xz", "typeset", "mcf"}
+	return h
+}
+
+func TestIDsDispatch(t *testing.T) {
+	h := smallHarness()
+	for _, id := range IDs() {
+		tbl, err := h.Run(id)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if tbl.NumRows() == 0 {
+			t.Errorf("%s: empty table", id)
+		}
+	}
+	if _, err := h.Run("nope"); err == nil {
+		t.Error("unknown id must error")
+	}
+}
+
+func TestFigure10Shape(t *testing.T) {
+	h := smallHarness()
+	tbl, err := h.Figure10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The last row is the geomean; parse the normalized IPCs.
+	last := tbl.Row(tbl.NumRows() - 1)
+	if last[0] != "geomean" {
+		t.Fatalf("last row = %v", last)
+	}
+	parse := func(s string) float64 {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			t.Fatalf("bad cell %q", s)
+		}
+		return v
+	}
+	riscv := parse(last[1])   // RISCVFusion
+	csf := parse(last[2])     // CSF-SBR
+	rpp := parse(last[3])     // RISCVFusion++
+	heliosV := parse(last[4]) // Helios
+	oracle := parse(last[5])  // OracleFusion
+
+	// The paper's qualitative ordering (Section V-B3): every fusion
+	// flavour helps, Helios beats consecutive-only fusion, and the oracle
+	// is the upper bound.
+	if csf < 1.0 || rpp < 1.0 || heliosV < 1.0 || oracle < 1.0 {
+		t.Errorf("fusion should not hurt on geomean: %v", last)
+	}
+	if heliosV < csf {
+		t.Errorf("Helios (%v) must beat CSF-SBR (%v)", heliosV, csf)
+	}
+	if oracle+1e-9 < heliosV {
+		t.Errorf("Oracle (%v) must be an upper bound over Helios (%v)", oracle, heliosV)
+	}
+	if rpp < riscv {
+		t.Errorf("RISCVFusion++ (%v) must cover RISCVFusion (%v)", rpp, riscv)
+	}
+}
+
+func TestTable3Sanity(t *testing.T) {
+	h := smallHarness()
+	tbl, err := h.Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < tbl.NumRows(); i++ {
+		row := tbl.Row(i)
+		acc := strings.TrimSuffix(row[2], "%")
+		v, err := strconv.ParseFloat(acc, 64)
+		if err != nil {
+			t.Fatalf("bad accuracy cell %q", row[2])
+		}
+		// The predictor's confidence mechanism keeps accuracy high (the
+		// paper reports 99.7% average).
+		if v < 90 {
+			t.Errorf("%s: accuracy %v%% suspiciously low", row[0], v)
+		}
+	}
+}
+
+func TestFigure2MemoryDominates(t *testing.T) {
+	h := New(25_000)
+	h.Workloads = []string{"xz", "typeset", "mcf", "fft"}
+	tbl, err := h.Figure2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := tbl.Row(tbl.NumRows() - 1)
+	mem, _ := strconv.ParseFloat(strings.TrimSuffix(last[1], "%"), 64)
+	oth, _ := strconv.ParseFloat(strings.TrimSuffix(last[2], "%"), 64)
+	// The paper's observation: memory pairing idioms dominate the other
+	// idioms on average (5.6% vs 1.1% there).
+	if mem <= oth {
+		t.Errorf("memory idioms (%v%%) should dominate others (%v%%)", mem, oth)
+	}
+}
+
+func TestFigure4CategoriesAddUp(t *testing.T) {
+	h := smallHarness()
+	tbl, err := h.Figure4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.NumRows() != len(h.Workloads)+1 {
+		t.Errorf("rows = %d", tbl.NumRows())
+	}
+}
+
+func TestFigure8OracleCoversHelios(t *testing.T) {
+	h := smallHarness()
+	tbl, err := h.Figure8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := tbl.Row(tbl.NumRows() - 1)
+	parse := func(s string) float64 {
+		v, _ := strconv.ParseFloat(strings.TrimSuffix(s, "%"), 64)
+		return v
+	}
+	heliosTotal := parse(last[1]) + parse(last[2])
+	oracleTotal := parse(last[3]) + parse(last[4])
+	// Helios approaches the oracle's pair counts (paper: 12.2% vs 13.6% of
+	// dynamic µ-ops); it must not exceed it by much nor collapse to zero.
+	if heliosTotal <= 0 {
+		t.Error("Helios fused nothing")
+	}
+	if heliosTotal > 1.3*oracleTotal+5 {
+		t.Errorf("Helios pairs (%v%%) far exceed oracle (%v%%)", heliosTotal, oracleTotal)
+	}
+}
+
+func TestTableCostMatchesPaper(t *testing.T) {
+	h := smallHarness()
+	tbl, err := h.TableCost()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := map[string]string{}
+	for i := 0; i < tbl.NumRows(); i++ {
+		row := tbl.Row(i)
+		cells[row[0]] = row[1]
+	}
+	if cells["fusion predictor"] != "73728" {
+		t.Errorf("FP bits = %s, want 73728 (72 Kbit)", cells["fusion predictor"])
+	}
+}
+
+func TestRunAllSubset(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep in short mode")
+	}
+	h := New(15_000)
+	h.Workloads = []string{"crc32", "xz"}
+	tables, err := h.RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != len(IDs()) {
+		t.Errorf("tables = %d, want %d", len(tables), len(IDs()))
+	}
+	ids := SortedIDs(tables)
+	if ids[0] != "fig2" {
+		t.Errorf("sorted ids = %v", ids)
+	}
+}
+
+func TestHarnessDefaultsToAllWorkloads(t *testing.T) {
+	h := New(1000)
+	if len(h.Workloads) != len(workloads.Names()) {
+		t.Errorf("harness workloads = %d, want %d", len(h.Workloads), len(workloads.Names()))
+	}
+}

@@ -1,0 +1,153 @@
+// Package fusion implements the paper's fusion machinery that does not
+// need the Helios predictor: the RISC-V macro-op fusion idiom catalogue of
+// Celio et al. (Table I), static detection of consecutive memory pairs,
+// register dependence analysis over a catalyst, and the OracleFusion
+// upper-bound pairing used in the evaluation.
+package fusion
+
+import (
+	"helios/internal/isa"
+	"helios/internal/uop"
+)
+
+// Idiom identifies one entry of the fusion idiom catalogue (Table I).
+// Memory pairing idioms (load pair / store pair) are the ones in bold in
+// the paper's table; the rest are the non-memory idioms.
+type Idiom uint8
+
+// Fusion idioms.
+const (
+	IdiomNone        Idiom = iota
+	IdiomLEA               // slli rd,rs,{1,2,3} + add rd,rd,rs2 (load effective address)
+	IdiomClearUpper        // slli rd,rs,32 + srli rd,rd,32 (zero-extend word)
+	IdiomLoadImm           // lui rd,imm + addi/addiw rd,rd,imm (32-bit constant)
+	IdiomAuipcAddi         // auipc rd,imm + addi rd,rd,imm (pc-relative address)
+	IdiomLoadGlobal        // lui/auipc rd,imm + load rd,imm(rd) (global access)
+	IdiomIndexedLoad       // add rd,rs1,rs2 + load rd,imm(rd) (indirect addressing)
+	IdiomLoadPair          // load + load, same base, contiguous (bold)
+	IdiomStorePair         // store + store, same base, contiguous (bold)
+)
+
+func (i Idiom) String() string {
+	switch i {
+	case IdiomLEA:
+		return "lea"
+	case IdiomClearUpper:
+		return "clear-upper"
+	case IdiomLoadImm:
+		return "load-imm"
+	case IdiomAuipcAddi:
+		return "auipc-addi"
+	case IdiomLoadGlobal:
+		return "load-global"
+	case IdiomIndexedLoad:
+		return "indexed-load"
+	case IdiomLoadPair:
+		return "load-pair"
+	case IdiomStorePair:
+		return "store-pair"
+	}
+	return "none"
+}
+
+// IsMemoryPair reports whether the idiom is a memory pairing idiom
+// (bold rows of Table I).
+func (i Idiom) IsMemoryPair() bool { return i == IdiomLoadPair || i == IdiomStorePair }
+
+// Kind maps the idiom to the µ-op fusion kind.
+func (i Idiom) Kind() uop.FuseKind {
+	switch i {
+	case IdiomNone:
+		return uop.FuseNone
+	case IdiomLoadPair:
+		return uop.FuseLoadPair
+	case IdiomStorePair:
+		return uop.FuseStorePair
+	default:
+		return uop.FuseIdiom
+	}
+}
+
+// MatchNonMemIdiom recognises the non-memory idioms of Table I for two
+// consecutive instructions a (older) and b (younger). The pattern
+// constraints follow Celio et al.: the intermediate destination must be
+// consumed and overwritten by b, so the pair collapses into one µ-op with
+// no extra live register.
+func MatchNonMemIdiom(a, b isa.Inst) Idiom {
+	if !a.Op.HasRd() || a.Rd == isa.Zero {
+		return IdiomNone
+	}
+	rd := a.Rd
+	switch a.Op {
+	case isa.OpSLLI:
+		if a.Imm >= 1 && a.Imm <= 3 &&
+			b.Op == isa.OpADD && b.Rd == rd && (b.Rs1 == rd || b.Rs2 == rd) &&
+			!(b.Rs1 == rd && b.Rs2 == rd) {
+			return IdiomLEA
+		}
+		if a.Imm == 32 && b.Op == isa.OpSRLI && b.Imm == 32 && b.Rd == rd && b.Rs1 == rd {
+			return IdiomClearUpper
+		}
+	case isa.OpLUI:
+		if (b.Op == isa.OpADDI || b.Op == isa.OpADDIW) && b.Rd == rd && b.Rs1 == rd {
+			return IdiomLoadImm
+		}
+		if b.Op.IsLoad() && b.Rd == rd && b.Rs1 == rd {
+			return IdiomLoadGlobal
+		}
+	case isa.OpAUIPC:
+		if b.Op == isa.OpADDI && b.Rd == rd && b.Rs1 == rd {
+			return IdiomAuipcAddi
+		}
+		if b.Op.IsLoad() && b.Rd == rd && b.Rs1 == rd {
+			return IdiomLoadGlobal
+		}
+	case isa.OpADD:
+		if b.Op.IsLoad() && b.Rd == rd && b.Rs1 == rd {
+			return IdiomIndexedLoad
+		}
+	}
+	return IdiomNone
+}
+
+// MatchMemPair recognises a consecutive memory pairing idiom: two loads or
+// two stores through the same base register whose immediates make the
+// accesses exactly contiguous. When allowAsymmetric is false the accesses
+// must also have the same size (the architectural ldp/stp restriction).
+//
+// A load pair is rejected when the second load depends on the first
+// (dependent loads, Section II-B) or when both write the same register.
+func MatchMemPair(a, b isa.Inst, allowAsymmetric bool) (Idiom, bool) {
+	switch {
+	case a.Op.IsLoad() && b.Op.IsLoad():
+		if a.Rs1 != b.Rs1 {
+			return IdiomNone, false
+		}
+		// Dependent loads cannot fuse: the first load produces the base
+		// of the second, or rewrites its own base used by the second.
+		if b.Rs1 == a.Rd || a.Rd == b.Rd {
+			return IdiomNone, false
+		}
+		if !contiguousImm(a.Imm, a.Op.MemSize(), b.Imm, b.Op.MemSize(), allowAsymmetric) {
+			return IdiomNone, false
+		}
+		return IdiomLoadPair, true
+	case a.Op.IsStore() && b.Op.IsStore():
+		if a.Rs1 != b.Rs1 {
+			return IdiomNone, false
+		}
+		if !contiguousImm(a.Imm, a.Op.MemSize(), b.Imm, b.Op.MemSize(), allowAsymmetric) {
+			return IdiomNone, false
+		}
+		return IdiomStorePair, true
+	}
+	return IdiomNone, false
+}
+
+// contiguousImm checks static contiguity of two same-base accesses.
+func contiguousImm(imm0 int64, sz0 uint8, imm1 int64, sz1 uint8, allowAsymmetric bool) bool {
+	if !allowAsymmetric && sz0 != sz1 {
+		return false
+	}
+	return imm0+int64(sz0) == imm1 || imm1+int64(sz1) == imm0
+}

@@ -1,0 +1,106 @@
+package helios
+
+// StorageCost itemises the storage the Helios mechanisms add over a
+// baseline with consecutive+contiguous memory fusion, reproducing the
+// accounting of Sections IV-B and IV-C for the paper's machine
+// configuration (140-entry AQ, 160-entry IQ, 352-entry ROB, 128-entry LQ,
+// 32-entry RAT, 2 NCSF nesting levels).
+type StorageCost struct {
+	AQBits           int // Is Head/Tail Nucleus bits + 8-bit NCS tags
+	RenameCounters   int // Max Active NCS + Active NCS
+	PhysRegNucleusAQ int // head/tail bit per physical register id in the AQ
+	PhysRegNucleusIQ int
+	PhysRegNucleusLQ int
+	WaRBuffer        int // 2-entry rename-side destination buffer (+ deadlock bits)
+	RATInsideNCS     int
+	IQNCSReady       int
+	DispatchBuffer   int
+	RATDeadlockTags  int
+	RenameDeadlock   int // deadlock tag bits in the rename buffer
+	ROBCommitGroups  int // Ext ComGroup + delimiter bits
+	LQSQSecondAccess int // offset + size of the second access
+	SerializingBit   int
+	StorePairBit     int
+
+	FusionPredictor int // local + global + selector
+	FlushPointers   int // two 9-bit ROB pointers per ROB entry (Section IV-C)
+}
+
+// MachineParams are the structure sizes the cost depends on.
+type MachineParams struct {
+	AQEntries  int
+	IQEntries  int
+	ROBEntries int
+	LQEntries  int
+	RATEntries int
+	NestLevels int
+}
+
+// PaperParams is the configuration evaluated in the paper.
+func PaperParams() MachineParams {
+	return MachineParams{
+		AQEntries:  140,
+		IQEntries:  160,
+		ROBEntries: 352,
+		LQEntries:  128,
+		RATEntries: 32,
+		NestLevels: 2,
+	}
+}
+
+// Cost computes the itemised storage for the given machine.
+func Cost(p MachineParams) StorageCost {
+	physRegIDBits := 1 // one nucleus bit per physical register identifier
+	return StorageCost{
+		// Is Head + Is Tail + 8-bit NCS tag per AQ entry.
+		AQBits:         p.AQEntries * (2 + 8),
+		RenameCounters: 4,
+		// 5 register identifiers per AQ entry (3 src + 2 dst), 5 per IQ
+		// entry, 2 per LQ entry (the paper reports 700/800/256 bits).
+		PhysRegNucleusAQ: p.AQEntries * 5 * physRegIDBits,
+		PhysRegNucleusIQ: p.IQEntries * 5 * physRegIDBits,
+		PhysRegNucleusLQ: p.LQEntries * 2 * physRegIDBits,
+		// One physical register identifier (~8 bits) + NCS tag per nest
+		// level; the paper reports 34 bits for 2 entries.
+		WaRBuffer:       p.NestLevels * 17,
+		RATInsideNCS:    p.RATEntries,
+		IQNCSReady:      p.IQEntries,
+		DispatchBuffer:  p.NestLevels * 32, // ROB/IQ/LQ/SQ pointers per level
+		RATDeadlockTags: p.RATEntries * p.NestLevels,
+		RenameDeadlock:  p.NestLevels * 2,
+		ROBCommitGroups: p.ROBEntries * 2,
+		// 6-bit offset + 2-bit size per LQ/SQ entry; the paper reports 704
+		// bits total for its LQ+SQ capacity.
+		LQSQSecondAccess: 704,
+		SerializingBit:   1,
+		StorePairBit:     1,
+		FusionPredictor:  FusionPredictorBits(),
+		FlushPointers:    p.ROBEntries * 2 * 9,
+	}
+}
+
+// FusionPredictorBits returns the FP storage: two 2048-entry tables of
+// 17-bit entries plus a 2048-entry selector of 2-bit counters (72 Kbit).
+func FusionPredictorBits() int {
+	table := fpSets * fpWays * 17
+	selector := selEntries * 2
+	return 2*table + selector
+}
+
+// NCSFBits returns the pipeline-side storage (everything except the
+// predictor and the flush pointers); the paper reports 4.77 Kbit.
+func (c StorageCost) NCSFBits() int {
+	return c.AQBits + c.RenameCounters +
+		c.PhysRegNucleusAQ + c.PhysRegNucleusIQ + c.PhysRegNucleusLQ +
+		c.WaRBuffer + c.RATInsideNCS + c.IQNCSReady + c.DispatchBuffer +
+		c.RATDeadlockTags + c.RenameDeadlock + c.ROBCommitGroups +
+		c.LQSQSecondAccess + c.SerializingBit + c.StorePairBit
+}
+
+// TotalBits returns pipeline storage plus the fusion predictor
+// (the paper reports 76.77 Kbit ≈ 9.60 KB).
+func (c StorageCost) TotalBits() int { return c.NCSFBits() + c.FusionPredictor }
+
+// TotalWithFlushBits additionally includes the flush-pointer upper bound
+// of Section IV-C (the paper reports ≈ 83 Kbit).
+func (c StorageCost) TotalWithFlushBits() int { return c.TotalBits() + c.FlushPointers }

@@ -1,0 +1,241 @@
+package helios
+
+// Fusion Predictor geometry from the paper (Section IV-A2): a tournament
+// of a "local" PC-indexed table and a "global" gshare-like table, each
+// 512 sets × 4 ways with 8-bit tags, 6-bit distances, 2-bit confidence
+// counters and pseudo-LRU replacement, arbitrated by a 2048-entry
+// direct-mapped selector of 2-bit counters.
+const (
+	fpSets     = 512
+	fpWays     = 4
+	selEntries = 2048
+	maxConf    = 3
+	distBits   = 6
+	maxFPDist  = 1<<distBits - 1 // 63
+)
+
+type fpEntry struct {
+	valid bool
+	tag   uint8
+	dist  uint8 // 6-bit distance to the head nucleus
+	conf  uint8 // 2-bit saturating confidence
+	stamp uint64
+}
+
+type fpTable struct {
+	entries [fpSets * fpWays]fpEntry
+	clock   uint64
+}
+
+func (t *fpTable) set(idx uint64) []fpEntry {
+	i := int(idx % fpSets)
+	return t.entries[i*fpWays : (i+1)*fpWays]
+}
+
+func fpTag(pc uint64) uint8 { return uint8((pc >> 2) ^ (pc >> 11)) }
+
+// lookup returns the entry for pc in the set idx, or nil.
+func (t *fpTable) lookup(idx uint64, tag uint8) *fpEntry {
+	set := t.set(idx)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			t.clock++
+			set[i].stamp = t.clock
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// train updates or allocates an entry for an observed (pc, distance) pair.
+func (t *fpTable) train(idx uint64, tag uint8, dist uint8) {
+	if e := t.lookup(idx, tag); e != nil {
+		if e.dist == dist {
+			if e.conf < maxConf {
+				e.conf++
+			}
+		} else {
+			e.dist = dist
+			e.conf = 1
+		}
+		return
+	}
+	// Allocate, evicting the pseudo-LRU way.
+	set := t.set(idx)
+	victim := 0
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].stamp < set[victim].stamp {
+			victim = i
+		}
+	}
+	t.clock++
+	set[victim] = fpEntry{valid: true, tag: tag, dist: dist, conf: 1, stamp: t.clock}
+}
+
+// FPConfig tunes the fusion predictor's confidence estimation. The zero
+// value reproduces the paper's design (2-bit counters, fuse at 3,
+// deterministic updates). Probabilistic updates implement the paper's
+// suggested accuracy/coverage trade ("probabilistic counters", Riley &
+// Zilles): confidence increments succeed only with probability
+// 1/2^ProbShift, so entries take longer to earn trust.
+type FPConfig struct {
+	// ConfidenceThreshold is the counter value required to fuse
+	// (default and maximum: 3).
+	ConfidenceThreshold uint8
+	// ProbShift > 0 enables probabilistic increments with probability
+	// 1/2^ProbShift.
+	ProbShift uint8
+}
+
+func (c *FPConfig) normalize() {
+	if c.ConfidenceThreshold == 0 || c.ConfidenceThreshold > maxConf {
+		c.ConfidenceThreshold = maxConf
+	}
+}
+
+// Prediction is the FP's answer for a µ-op at Decode.
+type Prediction struct {
+	Distance  int
+	Confident bool // saturating counter at max: fusion may be attempted
+	local     bool // which component provided the prediction (for updates)
+}
+
+// FP is the tournament fusion predictor.
+type FP struct {
+	cfg      FPConfig
+	rng      uint64 // deterministic xorshift for probabilistic updates
+	local    fpTable
+	global   fpTable
+	selector [selEntries]uint8 // 2-bit: >=2 prefers global
+
+	// Stats.
+	Lookups, Hits uint64
+	Trainings     uint64
+	Mispredicts   uint64
+}
+
+// NewFP returns a fusion predictor with the paper's configuration.
+func NewFP() *FP { return NewFPWith(FPConfig{}) }
+
+// NewFPWith returns a fusion predictor with explicit confidence tuning.
+func NewFPWith(cfg FPConfig) *FP {
+	cfg.normalize()
+	return &FP{cfg: cfg, rng: 0x9e3779b97f4a7c15}
+}
+
+// coin returns true with probability 1/2^shift (deterministic xorshift).
+func (f *FP) coin(shift uint8) bool {
+	f.rng ^= f.rng << 13
+	f.rng ^= f.rng >> 7
+	f.rng ^= f.rng << 17
+	return f.rng&(1<<shift-1) == 0
+}
+
+func localIndex(pc uint64) uint64 { return pc >> 2 }
+func globalIndex(pc, ghr uint64) uint64 {
+	return (pc >> 2) ^ (ghr & 0x1ff) ^ (ghr >> 9 & 0x1ff)
+}
+func selIndex(pc uint64) uint64 { return (pc >> 2) % selEntries }
+
+// Predict consults both components for the µ-op at pc given the global
+// branch history and arbitrates with the selector.
+func (f *FP) Predict(pc, ghr uint64) (Prediction, bool) {
+	f.Lookups++
+	tag := fpTag(pc)
+	le := f.local.lookup(localIndex(pc), tag)
+	ge := f.global.lookup(globalIndex(pc, ghr), tag)
+	if le == nil && ge == nil {
+		return Prediction{}, false
+	}
+	useGlobal := f.selector[selIndex(pc)] >= 2
+	var e *fpEntry
+	isLocal := false
+	switch {
+	case le != nil && (ge == nil || !useGlobal):
+		e, isLocal = le, true
+	default:
+		e = ge
+	}
+	f.Hits++
+	return Prediction{
+		Distance:  int(e.dist),
+		Confident: e.conf >= f.cfg.ConfidenceThreshold,
+		local:     isLocal,
+	}, true
+}
+
+// Train records a pair discovered by the UCH at Commit: the µ-op at pc
+// should fuse with the head nucleus `distance` µ-ops earlier. Both
+// components train; the selector moves toward whichever component already
+// agreed with the observation.
+func (f *FP) Train(pc, ghr uint64, distance int) {
+	if distance < 1 {
+		return
+	}
+	if distance > maxFPDist {
+		distance = maxFPDist
+	}
+	f.Trainings++
+	tag := fpTag(pc)
+	d := uint8(distance)
+
+	localAgrees := entryAgrees(f.local.lookup(localIndex(pc), tag), d)
+	globalAgrees := entryAgrees(f.global.lookup(globalIndex(pc, ghr), tag), d)
+	sel := &f.selector[selIndex(pc)]
+	switch {
+	case localAgrees && !globalAgrees:
+		if *sel > 0 {
+			*sel--
+		}
+	case globalAgrees && !localAgrees:
+		if *sel < 3 {
+			*sel++
+		}
+	}
+
+	if f.cfg.ProbShift > 0 && !f.coin(f.cfg.ProbShift) {
+		// Probabilistic hysteresis: this training event is dropped for
+		// existing entries (allocation of new entries still proceeds so
+		// the predictor can learn at all).
+		if f.local.lookup(localIndex(pc), tag) != nil &&
+			f.global.lookup(globalIndex(pc, ghr), tag) != nil {
+			return
+		}
+	}
+	f.local.train(localIndex(pc), tag, d)
+	f.global.train(globalIndex(pc, ghr), tag, d)
+}
+
+func entryAgrees(e *fpEntry, dist uint8) bool {
+	return e != nil && e.dist == dist
+}
+
+// Mispredict resets the confidence of the providing entry after an
+// incorrectly fused µ-op is discovered at Execute (the paper resets the
+// confidence counter to 0 on a fusion misprediction).
+func (f *FP) Mispredict(pc, ghr uint64, p Prediction) {
+	f.Mispredicts++
+	tag := fpTag(pc)
+	var e *fpEntry
+	if p.local {
+		e = f.local.lookup(localIndex(pc), tag)
+	} else {
+		e = f.global.lookup(globalIndex(pc, ghr), tag)
+	}
+	if e != nil {
+		e.conf = 0
+	}
+	// Steer the selector away from the mispredicting component.
+	sel := &f.selector[selIndex(pc)]
+	if p.local {
+		if *sel < 3 {
+			*sel++
+		}
+	} else if *sel > 0 {
+		*sel--
+	}
+}

@@ -1,0 +1,198 @@
+package isa
+
+// Decode translates a 32-bit RV64IM instruction word into an Inst.
+// Unrecognised words decode to an Inst with Op == OpInvalid.
+func Decode(w uint32) Inst {
+	major := w & 0x7f
+	rd := Reg(w >> 7 & 31)
+	funct3 := w >> 12 & 7
+	rs1 := Reg(w >> 15 & 31)
+	rs2 := Reg(w >> 20 & 31)
+	funct7 := w >> 25 & 0x7f
+
+	switch major {
+	case majLUI:
+		return Inst{Op: OpLUI, Rd: rd, Imm: int64(int32(w & 0xfffff000))}
+	case majAUIPC:
+		return Inst{Op: OpAUIPC, Rd: rd, Imm: int64(int32(w & 0xfffff000))}
+	case majJAL:
+		return Inst{Op: OpJAL, Rd: rd, Imm: immJ(w)}
+	case majJALR:
+		if funct3 == 0 {
+			return Inst{Op: OpJALR, Rd: rd, Rs1: rs1, Imm: immI(w)}
+		}
+	case majBranch:
+		var op Opcode
+		switch funct3 {
+		case 0b000:
+			op = OpBEQ
+		case 0b001:
+			op = OpBNE
+		case 0b100:
+			op = OpBLT
+		case 0b101:
+			op = OpBGE
+		case 0b110:
+			op = OpBLTU
+		case 0b111:
+			op = OpBGEU
+		default:
+			return Inst{}
+		}
+		return Inst{Op: op, Rs1: rs1, Rs2: rs2, Imm: immB(w)}
+	case majLoad:
+		ops := [8]Opcode{OpLB, OpLH, OpLW, OpLD, OpLBU, OpLHU, OpLWU, OpInvalid}
+		op := ops[funct3]
+		if op == OpInvalid {
+			return Inst{}
+		}
+		return Inst{Op: op, Rd: rd, Rs1: rs1, Imm: immI(w)}
+	case majStore:
+		if funct3 > 0b011 {
+			return Inst{}
+		}
+		ops := [4]Opcode{OpSB, OpSH, OpSW, OpSD}
+		return Inst{Op: ops[funct3], Rs1: rs1, Rs2: rs2, Imm: immS(w)}
+	case majOpImm:
+		switch funct3 {
+		case 0b000:
+			return Inst{Op: OpADDI, Rd: rd, Rs1: rs1, Imm: immI(w)}
+		case 0b010:
+			return Inst{Op: OpSLTI, Rd: rd, Rs1: rs1, Imm: immI(w)}
+		case 0b011:
+			return Inst{Op: OpSLTIU, Rd: rd, Rs1: rs1, Imm: immI(w)}
+		case 0b100:
+			return Inst{Op: OpXORI, Rd: rd, Rs1: rs1, Imm: immI(w)}
+		case 0b110:
+			return Inst{Op: OpORI, Rd: rd, Rs1: rs1, Imm: immI(w)}
+		case 0b111:
+			return Inst{Op: OpANDI, Rd: rd, Rs1: rs1, Imm: immI(w)}
+		case 0b001:
+			if funct7>>1 == 0 {
+				return Inst{Op: OpSLLI, Rd: rd, Rs1: rs1, Imm: int64(w >> 20 & 63)}
+			}
+		case 0b101:
+			switch funct7 >> 1 {
+			case 0b000000:
+				return Inst{Op: OpSRLI, Rd: rd, Rs1: rs1, Imm: int64(w >> 20 & 63)}
+			case 0b010000:
+				return Inst{Op: OpSRAI, Rd: rd, Rs1: rs1, Imm: int64(w >> 20 & 63)}
+			}
+		}
+	case majOpImmW:
+		switch funct3 {
+		case 0b000:
+			return Inst{Op: OpADDIW, Rd: rd, Rs1: rs1, Imm: immI(w)}
+		case 0b001:
+			if funct7 == 0 {
+				return Inst{Op: OpSLLIW, Rd: rd, Rs1: rs1, Imm: int64(w >> 20 & 31)}
+			}
+		case 0b101:
+			switch funct7 {
+			case 0b0000000:
+				return Inst{Op: OpSRLIW, Rd: rd, Rs1: rs1, Imm: int64(w >> 20 & 31)}
+			case 0b0100000:
+				return Inst{Op: OpSRAIW, Rd: rd, Rs1: rs1, Imm: int64(w >> 20 & 31)}
+			}
+		}
+	case majOp:
+		op := decodeOpRR(funct3, funct7, false)
+		if op != OpInvalid {
+			return Inst{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2}
+		}
+	case majOpW:
+		op := decodeOpRR(funct3, funct7, true)
+		if op != OpInvalid {
+			return Inst{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2}
+		}
+	case majMisc:
+		if funct3 == 0 {
+			return Inst{Op: OpFENCE}
+		}
+	case majSystem:
+		if funct3 == 0 {
+			switch w >> 20 {
+			case 0:
+				return Inst{Op: OpECALL}
+			case 1:
+				return Inst{Op: OpEBREAK}
+			}
+		}
+	}
+	return Inst{}
+}
+
+func decodeOpRR(funct3, funct7 uint32, wide bool) Opcode {
+	switch funct7 {
+	case 0b0000000:
+		if wide {
+			switch funct3 {
+			case 0b000:
+				return OpADDW
+			case 0b001:
+				return OpSLLW
+			case 0b101:
+				return OpSRLW
+			}
+			return OpInvalid
+		}
+		ops := [8]Opcode{OpADD, OpSLL, OpSLT, OpSLTU, OpXOR, OpSRL, OpOR, OpAND}
+		return ops[funct3]
+	case 0b0100000:
+		switch funct3 {
+		case 0b000:
+			if wide {
+				return OpSUBW
+			}
+			return OpSUB
+		case 0b101:
+			if wide {
+				return OpSRAW
+			}
+			return OpSRA
+		}
+	case 0b0000001:
+		if wide {
+			switch funct3 {
+			case 0b000:
+				return OpMULW
+			case 0b100:
+				return OpDIVW
+			case 0b101:
+				return OpDIVUW
+			case 0b110:
+				return OpREMW
+			case 0b111:
+				return OpREMUW
+			}
+			return OpInvalid
+		}
+		ops := [8]Opcode{OpMUL, OpMULH, OpMULHSU, OpMULHU, OpDIV, OpDIVU, OpREM, OpREMU}
+		return ops[funct3]
+	}
+	return OpInvalid
+}
+
+// Immediate extraction helpers; all sign-extend.
+
+func immI(w uint32) int64 { return int64(int32(w) >> 20) }
+
+func immS(w uint32) int64 {
+	return int64(int32(w&0xfe000000)>>20) | int64(w>>7&31)
+}
+
+func immB(w uint32) int64 {
+	imm := int64(int32(w&0x80000000)>>19) | // bit 12
+		int64(w>>25&0x3f)<<5 | // bits 10:5
+		int64(w>>8&0xf)<<1 | // bits 4:1
+		int64(w>>7&1)<<11 // bit 11
+	return imm
+}
+
+func immJ(w uint32) int64 {
+	imm := int64(int32(w&0x80000000)>>11) | // bit 20
+		int64(w>>21&0x3ff)<<1 | // bits 10:1
+		int64(w>>20&1)<<11 | // bit 11
+		int64(w>>12&0xff)<<12 // bits 19:12
+	return imm
+}

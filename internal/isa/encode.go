@@ -1,0 +1,186 @@
+package isa
+
+import "fmt"
+
+// RISC-V major opcode fields (bits 6:0).
+const (
+	majLUI    = 0b0110111
+	majAUIPC  = 0b0010111
+	majJAL    = 0b1101111
+	majJALR   = 0b1100111
+	majBranch = 0b1100011
+	majLoad   = 0b0000011
+	majStore  = 0b0100011
+	majOpImm  = 0b0010011
+	majOpImmW = 0b0011011
+	majOp     = 0b0110011
+	majOpW    = 0b0111011
+	majMisc   = 0b0001111
+	majSystem = 0b1110011
+)
+
+// encSpec describes how an opcode maps onto binary fields.
+type encSpec struct {
+	major  uint32
+	funct3 uint32
+	funct7 uint32
+}
+
+var encTable = map[Opcode]encSpec{
+	OpLUI:   {major: majLUI},
+	OpAUIPC: {major: majAUIPC},
+	OpJAL:   {major: majJAL},
+	OpJALR:  {major: majJALR, funct3: 0},
+
+	OpBEQ:  {major: majBranch, funct3: 0b000},
+	OpBNE:  {major: majBranch, funct3: 0b001},
+	OpBLT:  {major: majBranch, funct3: 0b100},
+	OpBGE:  {major: majBranch, funct3: 0b101},
+	OpBLTU: {major: majBranch, funct3: 0b110},
+	OpBGEU: {major: majBranch, funct3: 0b111},
+
+	OpLB:  {major: majLoad, funct3: 0b000},
+	OpLH:  {major: majLoad, funct3: 0b001},
+	OpLW:  {major: majLoad, funct3: 0b010},
+	OpLD:  {major: majLoad, funct3: 0b011},
+	OpLBU: {major: majLoad, funct3: 0b100},
+	OpLHU: {major: majLoad, funct3: 0b101},
+	OpLWU: {major: majLoad, funct3: 0b110},
+
+	OpSB: {major: majStore, funct3: 0b000},
+	OpSH: {major: majStore, funct3: 0b001},
+	OpSW: {major: majStore, funct3: 0b010},
+	OpSD: {major: majStore, funct3: 0b011},
+
+	OpADDI:  {major: majOpImm, funct3: 0b000},
+	OpSLTI:  {major: majOpImm, funct3: 0b010},
+	OpSLTIU: {major: majOpImm, funct3: 0b011},
+	OpXORI:  {major: majOpImm, funct3: 0b100},
+	OpORI:   {major: majOpImm, funct3: 0b110},
+	OpANDI:  {major: majOpImm, funct3: 0b111},
+	OpSLLI:  {major: majOpImm, funct3: 0b001, funct7: 0b0000000},
+	OpSRLI:  {major: majOpImm, funct3: 0b101, funct7: 0b0000000},
+	OpSRAI:  {major: majOpImm, funct3: 0b101, funct7: 0b0100000},
+	OpADDIW: {major: majOpImmW, funct3: 0b000},
+	OpSLLIW: {major: majOpImmW, funct3: 0b001, funct7: 0b0000000},
+	OpSRLIW: {major: majOpImmW, funct3: 0b101, funct7: 0b0000000},
+	OpSRAIW: {major: majOpImmW, funct3: 0b101, funct7: 0b0100000},
+
+	OpADD:  {major: majOp, funct3: 0b000, funct7: 0b0000000},
+	OpSUB:  {major: majOp, funct3: 0b000, funct7: 0b0100000},
+	OpSLL:  {major: majOp, funct3: 0b001, funct7: 0b0000000},
+	OpSLT:  {major: majOp, funct3: 0b010, funct7: 0b0000000},
+	OpSLTU: {major: majOp, funct3: 0b011, funct7: 0b0000000},
+	OpXOR:  {major: majOp, funct3: 0b100, funct7: 0b0000000},
+	OpSRL:  {major: majOp, funct3: 0b101, funct7: 0b0000000},
+	OpSRA:  {major: majOp, funct3: 0b101, funct7: 0b0100000},
+	OpOR:   {major: majOp, funct3: 0b110, funct7: 0b0000000},
+	OpAND:  {major: majOp, funct3: 0b111, funct7: 0b0000000},
+
+	OpADDW: {major: majOpW, funct3: 0b000, funct7: 0b0000000},
+	OpSUBW: {major: majOpW, funct3: 0b000, funct7: 0b0100000},
+	OpSLLW: {major: majOpW, funct3: 0b001, funct7: 0b0000000},
+	OpSRLW: {major: majOpW, funct3: 0b101, funct7: 0b0000000},
+	OpSRAW: {major: majOpW, funct3: 0b101, funct7: 0b0100000},
+
+	OpMUL:    {major: majOp, funct3: 0b000, funct7: 0b0000001},
+	OpMULH:   {major: majOp, funct3: 0b001, funct7: 0b0000001},
+	OpMULHSU: {major: majOp, funct3: 0b010, funct7: 0b0000001},
+	OpMULHU:  {major: majOp, funct3: 0b011, funct7: 0b0000001},
+	OpDIV:    {major: majOp, funct3: 0b100, funct7: 0b0000001},
+	OpDIVU:   {major: majOp, funct3: 0b101, funct7: 0b0000001},
+	OpREM:    {major: majOp, funct3: 0b110, funct7: 0b0000001},
+	OpREMU:   {major: majOp, funct3: 0b111, funct7: 0b0000001},
+	OpMULW:   {major: majOpW, funct3: 0b000, funct7: 0b0000001},
+	OpDIVW:   {major: majOpW, funct3: 0b100, funct7: 0b0000001},
+	OpDIVUW:  {major: majOpW, funct3: 0b101, funct7: 0b0000001},
+	OpREMW:   {major: majOpW, funct3: 0b110, funct7: 0b0000001},
+	OpREMUW:  {major: majOpW, funct3: 0b111, funct7: 0b0000001},
+
+	OpFENCE:  {major: majMisc, funct3: 0b000},
+	OpECALL:  {major: majSystem, funct3: 0b000},
+	OpEBREAK: {major: majSystem, funct3: 0b000},
+}
+
+// Encode produces the 32-bit binary encoding of the instruction.
+func Encode(i Inst) (uint32, error) {
+	spec, ok := encTable[i.Op]
+	if !ok {
+		return 0, fmt.Errorf("isa: cannot encode opcode %v", i.Op)
+	}
+	rd := uint32(i.Rd) & 31
+	rs1 := uint32(i.Rs1) & 31
+	rs2 := uint32(i.Rs2) & 31
+	base := spec.major | spec.funct3<<12
+
+	switch i.Op.Format() {
+	case FormatR:
+		return base | rd<<7 | rs1<<15 | rs2<<20 | spec.funct7<<25, nil
+	case FormatU:
+		if i.Imm&0xfff != 0 {
+			return 0, fmt.Errorf("isa: U-type immediate %#x has low bits set", i.Imm)
+		}
+		if i.Imm != int64(int32(i.Imm)) {
+			return 0, fmt.Errorf("isa: U-type immediate %#x out of range", i.Imm)
+		}
+		return base | rd<<7 | uint32(i.Imm)&0xfffff000, nil
+	case FormatJ:
+		imm := i.Imm
+		if imm < -(1<<20) || imm >= 1<<20 || imm&1 != 0 {
+			return 0, fmt.Errorf("isa: J-type immediate %d out of range", imm)
+		}
+		u := uint32(imm)
+		enc := (u>>20&1)<<31 | (u>>1&0x3ff)<<21 | (u>>11&1)<<20 | (u >> 12 & 0xff << 12)
+		return base | rd<<7 | enc, nil
+	case FormatB:
+		imm := i.Imm
+		if imm < -(1<<12) || imm >= 1<<12 || imm&1 != 0 {
+			return 0, fmt.Errorf("isa: B-type immediate %d out of range", imm)
+		}
+		u := uint32(imm)
+		enc := (u>>12&1)<<31 | (u>>5&0x3f)<<25 | (u>>1&0xf)<<8 | (u >> 11 & 1 << 7)
+		return base | rs1<<15 | rs2<<20 | enc, nil
+	case FormatS:
+		imm := i.Imm
+		if imm < -(1<<11) || imm >= 1<<11 {
+			return 0, fmt.Errorf("isa: S-type immediate %d out of range", imm)
+		}
+		u := uint32(imm) & 0xfff
+		return base | (u&0x1f)<<7 | rs1<<15 | rs2<<20 | (u>>5)<<25, nil
+	case FormatI:
+		switch i.Op {
+		case OpSLLI, OpSRLI, OpSRAI:
+			if i.Imm < 0 || i.Imm > 63 {
+				return 0, fmt.Errorf("isa: shift amount %d out of range", i.Imm)
+			}
+			return base | rd<<7 | rs1<<15 | uint32(i.Imm)<<20 | (spec.funct7>>1)<<26, nil
+		case OpSLLIW, OpSRLIW, OpSRAIW:
+			if i.Imm < 0 || i.Imm > 31 {
+				return 0, fmt.Errorf("isa: shift amount %d out of range", i.Imm)
+			}
+			return base | rd<<7 | rs1<<15 | uint32(i.Imm)<<20 | spec.funct7<<25, nil
+		case OpECALL:
+			return base, nil
+		case OpEBREAK:
+			return base | 1<<20, nil
+		case OpFENCE:
+			return base, nil
+		}
+		imm := i.Imm
+		if imm < -(1<<11) || imm >= 1<<11 {
+			return 0, fmt.Errorf("isa: I-type immediate %d out of range", imm)
+		}
+		return base | rd<<7 | rs1<<15 | (uint32(imm)&0xfff)<<20, nil
+	}
+	return 0, fmt.Errorf("isa: unknown format for %v", i.Op)
+}
+
+// MustEncode is like Encode but panics on error; for use with instruction
+// constants in tests and workloads.
+func MustEncode(i Inst) uint32 {
+	w, err := Encode(i)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}

@@ -1,0 +1,75 @@
+package isa
+
+import "fmt"
+
+// Inst is one decoded RV64IM instruction.
+//
+// Imm holds the sign-extended immediate for I/S/B/U/J formats (for U
+// formats it is the already-shifted 32-bit value, i.e. imm<<12). For shift
+// immediates it holds the 6-bit shift amount.
+type Inst struct {
+	Op  Opcode
+	Rd  Reg
+	Rs1 Reg
+	Rs2 Reg
+	Imm int64
+}
+
+// Valid reports whether the instruction holds a defined opcode.
+func (i Inst) Valid() bool { return i.Op != OpInvalid && int(i.Op) < NumOpcodes }
+
+// String renders the instruction in assembly syntax.
+func (i Inst) String() string {
+	switch i.Op {
+	case OpInvalid:
+		return "invalid"
+	case OpLUI, OpAUIPC:
+		return fmt.Sprintf("%s %s, 0x%x", i.Op, i.Rd, uint32(i.Imm)>>12)
+	case OpJAL:
+		return fmt.Sprintf("%s %s, %d", i.Op, i.Rd, i.Imm)
+	case OpJALR:
+		return fmt.Sprintf("%s %s, %d(%s)", i.Op, i.Rd, i.Imm, i.Rs1)
+	case OpBEQ, OpBNE, OpBLT, OpBGE, OpBLTU, OpBGEU:
+		return fmt.Sprintf("%s %s, %s, %d", i.Op, i.Rs1, i.Rs2, i.Imm)
+	case OpLB, OpLH, OpLW, OpLD, OpLBU, OpLHU, OpLWU:
+		return fmt.Sprintf("%s %s, %d(%s)", i.Op, i.Rd, i.Imm, i.Rs1)
+	case OpSB, OpSH, OpSW, OpSD:
+		return fmt.Sprintf("%s %s, %d(%s)", i.Op, i.Rs2, i.Imm, i.Rs1)
+	case OpFENCE, OpECALL, OpEBREAK:
+		return i.Op.String()
+	}
+	switch i.Op.Format() {
+	case FormatI:
+		return fmt.Sprintf("%s %s, %s, %d", i.Op, i.Rd, i.Rs1, i.Imm)
+	case FormatR:
+		return fmt.Sprintf("%s %s, %s, %s", i.Op, i.Rd, i.Rs1, i.Rs2)
+	}
+	return i.Op.String()
+}
+
+// BranchTarget returns the control-flow target of a branch or jal
+// instruction located at pc. For jalr the target depends on a register
+// value and cannot be computed statically; ok is false in that case.
+func (i Inst) BranchTarget(pc uint64) (target uint64, ok bool) {
+	switch i.Op {
+	case OpJAL:
+		return pc + uint64(i.Imm), true
+	case OpBEQ, OpBNE, OpBLT, OpBGE, OpBLTU, OpBGEU:
+		return pc + uint64(i.Imm), true
+	}
+	return 0, false
+}
+
+// WritesReg reports whether the instruction writes architectural register r
+// (never true for x0, which is hardwired to zero).
+func (i Inst) WritesReg(r Reg) bool {
+	return i.Op.HasRd() && i.Rd == r && r != Zero
+}
+
+// ReadsReg reports whether the instruction reads architectural register r.
+func (i Inst) ReadsReg(r Reg) bool {
+	if r == Zero {
+		return false
+	}
+	return (i.Op.HasRs1() && i.Rs1 == r) || (i.Op.HasRs2() && i.Rs2 == r)
+}

@@ -1,0 +1,294 @@
+package isa
+
+// Format is the RISC-V instruction encoding format.
+type Format uint8
+
+// Encoding formats of RV64.
+const (
+	FormatR Format = iota // register-register
+	FormatI               // register-immediate, loads, jalr
+	FormatS               // stores
+	FormatB               // conditional branches
+	FormatU               // lui/auipc
+	FormatJ               // jal
+)
+
+// Class is a coarse micro-architectural classification of an instruction,
+// used for issue-port selection and execution latency.
+type Class uint8
+
+// Instruction classes.
+const (
+	ClassALU    Class = iota // single-cycle integer
+	ClassMul                 // integer multiply
+	ClassDiv                 // integer divide / remainder
+	ClassLoad                // memory load
+	ClassStore               // memory store
+	ClassBranch              // conditional branch
+	ClassJump                // jal/jalr
+	ClassSystem              // ecall/ebreak/fence (serializing)
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassALU:
+		return "alu"
+	case ClassMul:
+		return "mul"
+	case ClassDiv:
+		return "div"
+	case ClassLoad:
+		return "load"
+	case ClassStore:
+		return "store"
+	case ClassBranch:
+		return "branch"
+	case ClassJump:
+		return "jump"
+	case ClassSystem:
+		return "system"
+	}
+	return "unknown"
+}
+
+// Opcode identifies one RV64IM instruction.
+type Opcode uint8
+
+// RV64IM opcodes.
+const (
+	OpInvalid Opcode = iota
+
+	// RV32I / RV64I upper-immediate and control flow.
+	OpLUI
+	OpAUIPC
+	OpJAL
+	OpJALR
+	OpBEQ
+	OpBNE
+	OpBLT
+	OpBGE
+	OpBLTU
+	OpBGEU
+
+	// Loads.
+	OpLB
+	OpLH
+	OpLW
+	OpLD
+	OpLBU
+	OpLHU
+	OpLWU
+
+	// Stores.
+	OpSB
+	OpSH
+	OpSW
+	OpSD
+
+	// Register-immediate ALU.
+	OpADDI
+	OpSLTI
+	OpSLTIU
+	OpXORI
+	OpORI
+	OpANDI
+	OpSLLI
+	OpSRLI
+	OpSRAI
+	OpADDIW
+	OpSLLIW
+	OpSRLIW
+	OpSRAIW
+
+	// Register-register ALU.
+	OpADD
+	OpSUB
+	OpSLL
+	OpSLT
+	OpSLTU
+	OpXOR
+	OpSRL
+	OpSRA
+	OpOR
+	OpAND
+	OpADDW
+	OpSUBW
+	OpSLLW
+	OpSRLW
+	OpSRAW
+
+	// M extension.
+	OpMUL
+	OpMULH
+	OpMULHSU
+	OpMULHU
+	OpDIV
+	OpDIVU
+	OpREM
+	OpREMU
+	OpMULW
+	OpDIVW
+	OpDIVUW
+	OpREMW
+	OpREMUW
+
+	// System.
+	OpFENCE
+	OpECALL
+	OpEBREAK
+
+	numOpcodes
+)
+
+// NumOpcodes is the count of defined opcodes (including OpInvalid).
+const NumOpcodes = int(numOpcodes)
+
+// opInfo is the static metadata table for each opcode.
+type opInfo struct {
+	name     string
+	format   Format
+	class    Class
+	memSize  uint8 // access size in bytes for loads/stores, else 0
+	unsigned bool  // for loads: zero-extending
+	hasRd    bool
+	hasRs1   bool
+	hasRs2   bool
+}
+
+var opTable = [numOpcodes]opInfo{
+	OpInvalid: {name: "invalid", format: FormatI, class: ClassSystem},
+
+	OpLUI:   {name: "lui", format: FormatU, class: ClassALU, hasRd: true},
+	OpAUIPC: {name: "auipc", format: FormatU, class: ClassALU, hasRd: true},
+	OpJAL:   {name: "jal", format: FormatJ, class: ClassJump, hasRd: true},
+	OpJALR:  {name: "jalr", format: FormatI, class: ClassJump, hasRd: true, hasRs1: true},
+	OpBEQ:   {name: "beq", format: FormatB, class: ClassBranch, hasRs1: true, hasRs2: true},
+	OpBNE:   {name: "bne", format: FormatB, class: ClassBranch, hasRs1: true, hasRs2: true},
+	OpBLT:   {name: "blt", format: FormatB, class: ClassBranch, hasRs1: true, hasRs2: true},
+	OpBGE:   {name: "bge", format: FormatB, class: ClassBranch, hasRs1: true, hasRs2: true},
+	OpBLTU:  {name: "bltu", format: FormatB, class: ClassBranch, hasRs1: true, hasRs2: true},
+	OpBGEU:  {name: "bgeu", format: FormatB, class: ClassBranch, hasRs1: true, hasRs2: true},
+
+	OpLB:  {name: "lb", format: FormatI, class: ClassLoad, memSize: 1, hasRd: true, hasRs1: true},
+	OpLH:  {name: "lh", format: FormatI, class: ClassLoad, memSize: 2, hasRd: true, hasRs1: true},
+	OpLW:  {name: "lw", format: FormatI, class: ClassLoad, memSize: 4, hasRd: true, hasRs1: true},
+	OpLD:  {name: "ld", format: FormatI, class: ClassLoad, memSize: 8, hasRd: true, hasRs1: true},
+	OpLBU: {name: "lbu", format: FormatI, class: ClassLoad, memSize: 1, unsigned: true, hasRd: true, hasRs1: true},
+	OpLHU: {name: "lhu", format: FormatI, class: ClassLoad, memSize: 2, unsigned: true, hasRd: true, hasRs1: true},
+	OpLWU: {name: "lwu", format: FormatI, class: ClassLoad, memSize: 4, unsigned: true, hasRd: true, hasRs1: true},
+
+	OpSB: {name: "sb", format: FormatS, class: ClassStore, memSize: 1, hasRs1: true, hasRs2: true},
+	OpSH: {name: "sh", format: FormatS, class: ClassStore, memSize: 2, hasRs1: true, hasRs2: true},
+	OpSW: {name: "sw", format: FormatS, class: ClassStore, memSize: 4, hasRs1: true, hasRs2: true},
+	OpSD: {name: "sd", format: FormatS, class: ClassStore, memSize: 8, hasRs1: true, hasRs2: true},
+
+	OpADDI:  {name: "addi", format: FormatI, class: ClassALU, hasRd: true, hasRs1: true},
+	OpSLTI:  {name: "slti", format: FormatI, class: ClassALU, hasRd: true, hasRs1: true},
+	OpSLTIU: {name: "sltiu", format: FormatI, class: ClassALU, hasRd: true, hasRs1: true},
+	OpXORI:  {name: "xori", format: FormatI, class: ClassALU, hasRd: true, hasRs1: true},
+	OpORI:   {name: "ori", format: FormatI, class: ClassALU, hasRd: true, hasRs1: true},
+	OpANDI:  {name: "andi", format: FormatI, class: ClassALU, hasRd: true, hasRs1: true},
+	OpSLLI:  {name: "slli", format: FormatI, class: ClassALU, hasRd: true, hasRs1: true},
+	OpSRLI:  {name: "srli", format: FormatI, class: ClassALU, hasRd: true, hasRs1: true},
+	OpSRAI:  {name: "srai", format: FormatI, class: ClassALU, hasRd: true, hasRs1: true},
+	OpADDIW: {name: "addiw", format: FormatI, class: ClassALU, hasRd: true, hasRs1: true},
+	OpSLLIW: {name: "slliw", format: FormatI, class: ClassALU, hasRd: true, hasRs1: true},
+	OpSRLIW: {name: "srliw", format: FormatI, class: ClassALU, hasRd: true, hasRs1: true},
+	OpSRAIW: {name: "sraiw", format: FormatI, class: ClassALU, hasRd: true, hasRs1: true},
+
+	OpADD:  {name: "add", format: FormatR, class: ClassALU, hasRd: true, hasRs1: true, hasRs2: true},
+	OpSUB:  {name: "sub", format: FormatR, class: ClassALU, hasRd: true, hasRs1: true, hasRs2: true},
+	OpSLL:  {name: "sll", format: FormatR, class: ClassALU, hasRd: true, hasRs1: true, hasRs2: true},
+	OpSLT:  {name: "slt", format: FormatR, class: ClassALU, hasRd: true, hasRs1: true, hasRs2: true},
+	OpSLTU: {name: "sltu", format: FormatR, class: ClassALU, hasRd: true, hasRs1: true, hasRs2: true},
+	OpXOR:  {name: "xor", format: FormatR, class: ClassALU, hasRd: true, hasRs1: true, hasRs2: true},
+	OpSRL:  {name: "srl", format: FormatR, class: ClassALU, hasRd: true, hasRs1: true, hasRs2: true},
+	OpSRA:  {name: "sra", format: FormatR, class: ClassALU, hasRd: true, hasRs1: true, hasRs2: true},
+	OpOR:   {name: "or", format: FormatR, class: ClassALU, hasRd: true, hasRs1: true, hasRs2: true},
+	OpAND:  {name: "and", format: FormatR, class: ClassALU, hasRd: true, hasRs1: true, hasRs2: true},
+	OpADDW: {name: "addw", format: FormatR, class: ClassALU, hasRd: true, hasRs1: true, hasRs2: true},
+	OpSUBW: {name: "subw", format: FormatR, class: ClassALU, hasRd: true, hasRs1: true, hasRs2: true},
+	OpSLLW: {name: "sllw", format: FormatR, class: ClassALU, hasRd: true, hasRs1: true, hasRs2: true},
+	OpSRLW: {name: "srlw", format: FormatR, class: ClassALU, hasRd: true, hasRs1: true, hasRs2: true},
+	OpSRAW: {name: "sraw", format: FormatR, class: ClassALU, hasRd: true, hasRs1: true, hasRs2: true},
+
+	OpMUL:    {name: "mul", format: FormatR, class: ClassMul, hasRd: true, hasRs1: true, hasRs2: true},
+	OpMULH:   {name: "mulh", format: FormatR, class: ClassMul, hasRd: true, hasRs1: true, hasRs2: true},
+	OpMULHSU: {name: "mulhsu", format: FormatR, class: ClassMul, hasRd: true, hasRs1: true, hasRs2: true},
+	OpMULHU:  {name: "mulhu", format: FormatR, class: ClassMul, hasRd: true, hasRs1: true, hasRs2: true},
+	OpDIV:    {name: "div", format: FormatR, class: ClassDiv, hasRd: true, hasRs1: true, hasRs2: true},
+	OpDIVU:   {name: "divu", format: FormatR, class: ClassDiv, hasRd: true, hasRs1: true, hasRs2: true},
+	OpREM:    {name: "rem", format: FormatR, class: ClassDiv, hasRd: true, hasRs1: true, hasRs2: true},
+	OpREMU:   {name: "remu", format: FormatR, class: ClassDiv, hasRd: true, hasRs1: true, hasRs2: true},
+	OpMULW:   {name: "mulw", format: FormatR, class: ClassMul, hasRd: true, hasRs1: true, hasRs2: true},
+	OpDIVW:   {name: "divw", format: FormatR, class: ClassDiv, hasRd: true, hasRs1: true, hasRs2: true},
+	OpDIVUW:  {name: "divuw", format: FormatR, class: ClassDiv, hasRd: true, hasRs1: true, hasRs2: true},
+	OpREMW:   {name: "remw", format: FormatR, class: ClassDiv, hasRd: true, hasRs1: true, hasRs2: true},
+	OpREMUW:  {name: "remuw", format: FormatR, class: ClassDiv, hasRd: true, hasRs1: true, hasRs2: true},
+
+	OpFENCE:  {name: "fence", format: FormatI, class: ClassSystem},
+	OpECALL:  {name: "ecall", format: FormatI, class: ClassSystem},
+	OpEBREAK: {name: "ebreak", format: FormatI, class: ClassSystem},
+}
+
+// String returns the assembly mnemonic.
+func (op Opcode) String() string {
+	if int(op) < len(opTable) {
+		return opTable[op].name
+	}
+	return "op?"
+}
+
+// Format returns the encoding format of the opcode.
+func (op Opcode) Format() Format { return opTable[op].format }
+
+// Class returns the micro-architectural class of the opcode.
+func (op Opcode) Class() Class { return opTable[op].class }
+
+// MemSize returns the access size in bytes for loads and stores, 0 otherwise.
+func (op Opcode) MemSize() uint8 { return opTable[op].memSize }
+
+// IsLoad reports whether the opcode is a memory load.
+func (op Opcode) IsLoad() bool { return opTable[op].class == ClassLoad }
+
+// IsStore reports whether the opcode is a memory store.
+func (op Opcode) IsStore() bool { return opTable[op].class == ClassStore }
+
+// IsBranch reports whether the opcode is a conditional branch.
+func (op Opcode) IsBranch() bool { return opTable[op].class == ClassBranch }
+
+// IsControlFlow reports whether the opcode can change control flow.
+func (op Opcode) IsControlFlow() bool {
+	c := opTable[op].class
+	return c == ClassBranch || c == ClassJump
+}
+
+// IsSerializing reports whether the opcode serializes the pipeline
+// (fences and environment calls).
+func (op Opcode) IsSerializing() bool { return opTable[op].class == ClassSystem }
+
+// UnsignedLoad reports whether a load zero-extends its result.
+func (op Opcode) UnsignedLoad() bool { return opTable[op].unsigned }
+
+// HasRd reports whether the opcode writes an integer destination register.
+func (op Opcode) HasRd() bool { return opTable[op].hasRd }
+
+// HasRs1 reports whether the opcode reads rs1.
+func (op Opcode) HasRs1() bool { return opTable[op].hasRs1 }
+
+// HasRs2 reports whether the opcode reads rs2.
+func (op Opcode) HasRs2() bool { return opTable[op].hasRs2 }
+
+// OpcodeByName resolves an assembly mnemonic to an opcode.
+func OpcodeByName(name string) (Opcode, bool) {
+	op, ok := opsByName[name]
+	return op, ok
+}
+
+var opsByName = func() map[string]Opcode {
+	m := make(map[string]Opcode, len(opTable))
+	for op := Opcode(1); op < numOpcodes; op++ {
+		m[opTable[op].name] = op
+	}
+	return m
+}()

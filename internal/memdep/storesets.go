@@ -1,0 +1,134 @@
+// Package memdep implements the store-set memory dependence predictor of
+// Chrysos & Emer, used by the paper's baseline core (Table II) to let
+// loads issue speculatively around older stores with unknown addresses
+// while avoiding repeated memory-order violations.
+package memdep
+
+// Invalid marks an SSIT entry with no assigned store set.
+const invalidSSID = ^uint32(0)
+
+// StoreSets tracks which loads have historically conflicted with which
+// stores. It combines the Store Set ID Table (SSIT), indexed by PC, with
+// the Last Fetched Store Table (LFST), indexed by store set ID.
+type StoreSets struct {
+	ssit []uint32
+	mask uint64
+
+	lfst       []lfstEntry
+	nextSSID   uint32
+	numSSIDs   uint32
+	resetEvery uint64
+	accesses   uint64
+}
+
+type lfstEntry struct {
+	valid bool
+	seq   uint64 // sequence number of the last in-flight store in the set
+}
+
+// New creates a store-set predictor with 2^logSize SSIT entries and
+// 2^logSets store sets. The tables are periodically cleared (as in the
+// original proposal) to adapt to phase changes.
+func New(logSize, logSets uint) *StoreSets {
+	n := uint64(1) << logSize
+	s := &StoreSets{
+		ssit:       make([]uint32, n),
+		mask:       n - 1,
+		lfst:       make([]lfstEntry, 1<<logSets),
+		numSSIDs:   1 << logSets,
+		resetEvery: 1 << 16,
+	}
+	s.Clear()
+	return s
+}
+
+// Clear invalidates all assignments.
+func (s *StoreSets) Clear() {
+	for i := range s.ssit {
+		s.ssit[i] = invalidSSID
+	}
+	for i := range s.lfst {
+		s.lfst[i] = lfstEntry{}
+	}
+	s.nextSSID = 0
+}
+
+func (s *StoreSets) index(pc uint64) uint64 { return (pc >> 2) & s.mask }
+
+func (s *StoreSets) maybeReset() {
+	s.accesses++
+	if s.accesses >= s.resetEvery {
+		s.accesses = 0
+		s.Clear()
+	}
+}
+
+// DispatchLoad is called when a load dispatches. If the load belongs to a
+// store set with an in-flight store, it returns that store's sequence
+// number: the load must not issue before it.
+func (s *StoreSets) DispatchLoad(loadPC uint64) (depSeq uint64, ok bool) {
+	s.maybeReset()
+	ssid := s.ssit[s.index(loadPC)]
+	if ssid == invalidSSID {
+		return 0, false
+	}
+	e := s.lfst[ssid%s.numSSIDs]
+	if !e.valid {
+		return 0, false
+	}
+	return e.seq, true
+}
+
+// DispatchStore is called when a store dispatches; it becomes the last
+// fetched store of its set (if it has one).
+func (s *StoreSets) DispatchStore(storePC uint64, seq uint64) {
+	s.maybeReset()
+	ssid := s.ssit[s.index(storePC)]
+	if ssid == invalidSSID {
+		return
+	}
+	s.lfst[ssid%s.numSSIDs] = lfstEntry{valid: true, seq: seq}
+}
+
+// CompleteStore clears the LFST entry when the store it names executes.
+func (s *StoreSets) CompleteStore(storePC uint64, seq uint64) {
+	ssid := s.ssit[s.index(storePC)]
+	if ssid == invalidSSID {
+		return
+	}
+	e := &s.lfst[ssid%s.numSSIDs]
+	if e.valid && e.seq == seq {
+		e.valid = false
+	}
+}
+
+// Violation trains the predictor after a memory-order violation between a
+// load and an older store, merging both PCs into one store set using the
+// original paper's rules.
+func (s *StoreSets) Violation(loadPC, storePC uint64) {
+	li, si := s.index(loadPC), s.index(storePC)
+	lid, sid := s.ssit[li], s.ssit[si]
+	switch {
+	case lid == invalidSSID && sid == invalidSSID:
+		id := s.nextSSID % s.numSSIDs
+		s.nextSSID++
+		s.ssit[li], s.ssit[si] = id, id
+	case lid == invalidSSID:
+		s.ssit[li] = sid
+	case sid == invalidSSID:
+		s.ssit[si] = lid
+	default:
+		// Both assigned: merge into the smaller-numbered set.
+		if lid < sid {
+			s.ssit[si] = lid
+		} else {
+			s.ssit[li] = sid
+		}
+	}
+}
+
+// Assigned reports whether a PC currently belongs to a store set
+// (exported for tests and stats).
+func (s *StoreSets) Assigned(pc uint64) bool {
+	return s.ssit[s.index(pc)] != invalidSSID
+}

@@ -1,0 +1,75 @@
+package memdep
+
+import "testing"
+
+const (
+	loadPC  = 0x1000
+	storePC = 0x2000
+)
+
+func TestNoDependenceBeforeTraining(t *testing.T) {
+	s := New(10, 6)
+	if _, ok := s.DispatchLoad(loadPC); ok {
+		t.Error("untrained predictor should predict no dependence")
+	}
+}
+
+func TestViolationCreatesDependence(t *testing.T) {
+	s := New(10, 6)
+	s.Violation(loadPC, storePC)
+	if !s.Assigned(loadPC) || !s.Assigned(storePC) {
+		t.Fatal("violation must assign both PCs to a set")
+	}
+	// The store dispatches; the load must now wait for it.
+	s.DispatchStore(storePC, 42)
+	dep, ok := s.DispatchLoad(loadPC)
+	if !ok || dep != 42 {
+		t.Fatalf("DispatchLoad = %d, %v; want 42, true", dep, ok)
+	}
+}
+
+func TestCompleteStoreClearsDependence(t *testing.T) {
+	s := New(10, 6)
+	s.Violation(loadPC, storePC)
+	s.DispatchStore(storePC, 42)
+	s.CompleteStore(storePC, 42)
+	if _, ok := s.DispatchLoad(loadPC); ok {
+		t.Error("completed store must not block loads")
+	}
+}
+
+func TestCompleteStaleStoreDoesNotClear(t *testing.T) {
+	s := New(10, 6)
+	s.Violation(loadPC, storePC)
+	s.DispatchStore(storePC, 42)
+	s.DispatchStore(storePC, 43) // a younger instance replaces it
+	s.CompleteStore(storePC, 42) // completion of the older one
+	dep, ok := s.DispatchLoad(loadPC)
+	if !ok || dep != 43 {
+		t.Fatalf("DispatchLoad = %d, %v; want 43 (younger store live)", dep, ok)
+	}
+}
+
+func TestMergeRules(t *testing.T) {
+	s := New(10, 6)
+	// Two independent violations create two sets; a cross violation merges.
+	s.Violation(0x100, 0x200)
+	s.Violation(0x300, 0x400)
+	s.Violation(0x100, 0x400) // merge
+	s.DispatchStore(0x400, 7)
+	if dep, ok := s.DispatchLoad(0x100); !ok || dep != 7 {
+		t.Fatalf("after merge, load 0x100 should wait for store 0x400: %d %v", dep, ok)
+	}
+}
+
+func TestPeriodicReset(t *testing.T) {
+	s := New(10, 6)
+	s.resetEvery = 10
+	s.Violation(loadPC, storePC)
+	for i := 0; i < 11; i++ {
+		s.DispatchStore(storePC, uint64(i))
+	}
+	if s.Assigned(loadPC) {
+		t.Error("predictor should have reset")
+	}
+}

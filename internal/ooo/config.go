@@ -1,0 +1,179 @@
+// Package ooo implements the cycle-level out-of-order core model: an
+// Icelake-like seven-stage pipeline (Fetch, Decode, Allocation Queue,
+// Rename, Dispatch, Issue/Execute, Commit) with a reorder buffer,
+// unified scheduler, load/store queues with store-to-load forwarding,
+// TSO store buffer, TAGE branch prediction, store-set memory dependence
+// prediction, and the fusion machinery of the paper: decode-time
+// consecutive fusion, the Helios UCH+FP predictive non-consecutive
+// fusion, and OracleFusion.
+//
+// The model is execution-driven: the functional emulator (internal/emu)
+// supplies the committed-path dynamic instruction stream with effective
+// addresses and branch outcomes, as Spike does for the paper's in-house
+// simulator. Branch mispredictions are modelled by stalling fetch until
+// the branch resolves plus a redirect penalty; fusion mispredictions and
+// memory-order violations flush the pipeline from the offending µ-op.
+package ooo
+
+import (
+	"helios/internal/cache"
+	"helios/internal/fusion"
+	"helios/internal/helios"
+)
+
+// Config describes the simulated machine.
+type Config struct {
+	// Widths (µ-ops per cycle).
+	FetchWidth    int
+	DecodeWidth   int
+	RenameWidth   int
+	DispatchWidth int
+	CommitWidth   int
+
+	// Structure capacities.
+	AQSize   int
+	ROBSize  int
+	IQSize   int
+	LQSize   int
+	SQSize   int
+	PhysRegs int
+
+	// Issue ports.
+	ALUPorts   int // one also executes branches, one mul/div
+	LoadPorts  int
+	StorePorts int
+
+	// Latencies (cycles).
+	ALULatency      int
+	MulLatency      int
+	DivLatency      int
+	RedirectPenalty int // fetch resume delay after a resolved mispredict
+
+	// Store buffer drains per cycle (TSO, post-commit).
+	StoreDrainPerCycle int
+
+	// Fusion configuration.
+	Mode        fusion.Mode
+	PairCfg     fusion.PairConfig
+	MaxNCSFNest int // concurrent pending NCSF'd µ-ops (paper: 2)
+
+	// Helios predictor tuning (zero values = the paper's design).
+	FP             helios.FPConfig
+	UCHLoadEntries int // load-side UCH capacity (paper: 6)
+
+	// Memory hierarchy.
+	Cache cache.Config
+
+	// Stream bound: stop after this many committed µ-ops (0 = run to
+	// stream end).
+	MaxUops uint64
+}
+
+// DefaultConfig returns the Table II machine: 8-wide fetch/decode feeding
+// a 140-entry allocation queue, 5-wide rename/dispatch, 8-wide commit,
+// 352-entry ROB, 160-entry scheduler, 128/72-entry LQ/SQ, 280 physical
+// registers, 4+2+2 issue ports and a 15-cycle redirect penalty.
+func DefaultConfig(mode fusion.Mode) Config {
+	return Config{
+		FetchWidth:    8,
+		DecodeWidth:   8,
+		RenameWidth:   5,
+		DispatchWidth: 5,
+		CommitWidth:   8,
+
+		AQSize:   140,
+		ROBSize:  352,
+		IQSize:   160,
+		LQSize:   128,
+		SQSize:   72,
+		PhysRegs: 384, // ROB + architectural state: rename is backed by the ROB
+
+		ALUPorts:   4,
+		LoadPorts:  2,
+		StorePorts: 2,
+
+		ALULatency:      1,
+		MulLatency:      3,
+		DivLatency:      20,
+		RedirectPenalty: 15,
+
+		StoreDrainPerCycle: 1, // one store retires to L1D per cycle
+
+		Mode:        mode,
+		PairCfg:     fusion.DefaultPairConfig(),
+		MaxNCSFNest: 2,
+
+		Cache: cache.DefaultConfig(),
+	}
+}
+
+// validate fills defaults for zero fields so tests can use sparse configs.
+func (c *Config) validate() {
+	def := DefaultConfig(c.Mode)
+	if c.FetchWidth == 0 {
+		c.FetchWidth = def.FetchWidth
+	}
+	if c.DecodeWidth == 0 {
+		c.DecodeWidth = def.DecodeWidth
+	}
+	if c.RenameWidth == 0 {
+		c.RenameWidth = def.RenameWidth
+	}
+	if c.DispatchWidth == 0 {
+		c.DispatchWidth = def.DispatchWidth
+	}
+	if c.CommitWidth == 0 {
+		c.CommitWidth = def.CommitWidth
+	}
+	if c.AQSize == 0 {
+		c.AQSize = def.AQSize
+	}
+	if c.ROBSize == 0 {
+		c.ROBSize = def.ROBSize
+	}
+	if c.IQSize == 0 {
+		c.IQSize = def.IQSize
+	}
+	if c.LQSize == 0 {
+		c.LQSize = def.LQSize
+	}
+	if c.SQSize == 0 {
+		c.SQSize = def.SQSize
+	}
+	if c.PhysRegs == 0 {
+		c.PhysRegs = def.PhysRegs
+	}
+	if c.ALUPorts == 0 {
+		c.ALUPorts = def.ALUPorts
+	}
+	if c.LoadPorts == 0 {
+		c.LoadPorts = def.LoadPorts
+	}
+	if c.StorePorts == 0 {
+		c.StorePorts = def.StorePorts
+	}
+	if c.ALULatency == 0 {
+		c.ALULatency = def.ALULatency
+	}
+	if c.MulLatency == 0 {
+		c.MulLatency = def.MulLatency
+	}
+	if c.DivLatency == 0 {
+		c.DivLatency = def.DivLatency
+	}
+	if c.RedirectPenalty == 0 {
+		c.RedirectPenalty = def.RedirectPenalty
+	}
+	if c.StoreDrainPerCycle == 0 {
+		c.StoreDrainPerCycle = def.StoreDrainPerCycle
+	}
+	if c.MaxNCSFNest == 0 {
+		c.MaxNCSFNest = def.MaxNCSFNest
+	}
+	if c.PairCfg.LineSize == 0 {
+		c.PairCfg = def.PairCfg
+	}
+	if c.Cache.LineSize == 0 {
+		c.Cache = def.Cache
+	}
+}

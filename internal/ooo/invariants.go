@@ -1,0 +1,148 @@
+package ooo
+
+import (
+	"fmt"
+
+	"helios/internal/uop"
+)
+
+// CheckInvariants validates the pipeline's internal consistency. It is
+// exported for tests (and cheap enough to call between cycles in debug
+// runs): structure occupancies within capacity, no physical register both
+// free and mapped, RAT entries valid, every in-flight fused µ-op
+// well-formed.
+func (p *Pipeline) CheckInvariants() error {
+	if p.rob.len() > p.cfg.ROBSize {
+		return fmt.Errorf("ROB occupancy %d > %d", p.rob.len(), p.cfg.ROBSize)
+	}
+	if p.aq.len() > p.cfg.AQSize {
+		return fmt.Errorf("AQ occupancy %d > %d", p.aq.len(), p.cfg.AQSize)
+	}
+	if len(p.iq) > p.cfg.IQSize {
+		return fmt.Errorf("IQ occupancy %d > %d", len(p.iq), p.cfg.IQSize)
+	}
+	if len(p.lq) > p.cfg.LQSize {
+		return fmt.Errorf("LQ occupancy %d > %d", len(p.lq), p.cfg.LQSize)
+	}
+	if len(p.sq) > p.cfg.SQSize {
+		return fmt.Errorf("SQ occupancy %d > %d", len(p.sq), p.cfg.SQSize)
+	}
+
+	// No register is both free and architecturally mapped, and the free
+	// list holds no duplicates.
+	free := make(map[int32]bool, len(p.freeList))
+	for _, r := range p.freeList {
+		if r < 0 || int(r) >= p.cfg.PhysRegs {
+			return fmt.Errorf("free list holds invalid register %d", r)
+		}
+		if free[r] {
+			return fmt.Errorf("register %d on the free list twice", r)
+		}
+		free[r] = true
+	}
+	for arch, r := range p.rat {
+		if r < 0 || int(r) >= p.cfg.PhysRegs {
+			return fmt.Errorf("RAT[%d] = %d out of range", arch, r)
+		}
+		if free[r] {
+			return fmt.Errorf("RAT[%d] = %d is also on the free list", arch, r)
+		}
+	}
+	for arch, r := range p.cRAT {
+		if free[r] {
+			return fmt.Errorf("cRAT[%d] = %d is also on the free list", arch, r)
+		}
+	}
+
+	// ROB entries are in sequence order and fused µ-ops are well-formed.
+	var prev uint64
+	for i := 0; i < p.rob.len(); i++ {
+		u := p.rob.at(i)
+		if i > 0 && u.seq <= prev {
+			return fmt.Errorf("ROB out of order at %d: %d after %d", i, u.seq, prev)
+		}
+		prev = u.seq
+		if u.st == stKilled || u.st == stCommitted {
+			return fmt.Errorf("ROB holds dead µ-op seq=%d st=%d", u.seq, u.st)
+		}
+		if u.kind != uop.FuseNone && !u.unfused && u.tailR == nil {
+			return fmt.Errorf("fused µ-op seq=%d has no tail record", u.seq)
+		}
+		if u.pendSrcs < 0 || u.pendSrcs > u.numSrc {
+			return fmt.Errorf("seq=%d pendSrcs=%d of %d", u.seq, u.pendSrcs, u.numSrc)
+		}
+		for s := 0; s < int(u.numSrc); s++ {
+			r := u.srcPhys[s]
+			if r >= 0 && free[r] && u.st == stDispatched {
+				return fmt.Errorf("seq=%d reads freed register %d", u.seq, r)
+			}
+		}
+	}
+
+	// Every IQ/LQ/SQ occupant is live and present in the ROB's range.
+	for _, q := range []struct {
+		name string
+		s    []*pUop
+	}{{"IQ", p.iq}, {"LQ", p.lq}, {"SQ", p.sq}} {
+		for _, u := range q.s {
+			if u.st == stKilled {
+				return fmt.Errorf("%s holds killed µ-op seq=%d", q.name, u.seq)
+			}
+			if q.name != "SQ" && u.st == stCommitted {
+				return fmt.Errorf("%s holds committed µ-op seq=%d", q.name, u.seq)
+			}
+		}
+	}
+
+	// Pending NCSF heads must still be live, fused and unvalidated.
+	for _, h := range p.pendingNCSF {
+		if h.st == stKilled || h.unfused || h.validated {
+			return fmt.Errorf("stale pending NCSF head seq=%d", h.seq)
+		}
+	}
+	if len(p.pendingNCSF) > p.cfg.MaxNCSFNest {
+		return fmt.Errorf("pending NCSF %d exceeds nest limit %d",
+			len(p.pendingNCSF), p.cfg.MaxNCSFNest)
+	}
+	return nil
+}
+
+// RunChecked is Run with CheckInvariants called every interval cycles;
+// it is the harness used by the failure-injection tests.
+func (p *Pipeline) RunChecked(interval uint64) (*Stats, error) {
+	if interval == 0 {
+		interval = 1
+	}
+	lastCommitted := uint64(0)
+	lastCommit := uint64(0)
+	for {
+		if p.cfg.MaxUops > 0 && p.st.CommittedInsts >= p.cfg.MaxUops {
+			break
+		}
+		if p.streamDone && p.rob.len() == 0 && p.aq.len() == 0 &&
+			int(p.nextFetch-p.windowBase) >= len(p.window) && len(p.sq) == 0 {
+			break
+		}
+		p.cycle++
+		p.st.Cycles++
+		p.commitStage()
+		p.drainStores()
+		p.writebackStage()
+		p.issueStage()
+		p.renameDispatchStage()
+		p.frontendStage()
+		if p.cycle%interval == 0 {
+			if err := p.CheckInvariants(); err != nil {
+				return &p.st, fmt.Errorf("cycle %d: %w", p.cycle, err)
+			}
+		}
+		if p.st.CommittedInsts != lastCommitted {
+			lastCommitted = p.st.CommittedInsts
+			lastCommit = p.cycle
+		} else if p.cycle-lastCommit > 100000 {
+			return &p.st, fmt.Errorf("ooo: no commit for 100000 cycles at cycle %d (%s)",
+				p.cycle, p.describeROBHead())
+		}
+	}
+	return &p.st, nil
+}

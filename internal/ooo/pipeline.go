@@ -1,0 +1,237 @@
+package ooo
+
+import (
+	"fmt"
+
+	"helios/internal/branch"
+	"helios/internal/cache"
+	"helios/internal/emu"
+	"helios/internal/fusion"
+	"helios/internal/helios"
+	"helios/internal/memdep"
+)
+
+// Stream supplies the committed-path dynamic instruction stream in program
+// order. It is typically (*emu.Machine).Step wrapped to stop at a bound.
+type Stream func() (emu.Retired, bool)
+
+// Pipeline is the cycle-level core model.
+type Pipeline struct {
+	cfg Config
+	mem *cache.Hierarchy
+
+	// Instruction supply.
+	stream     Stream
+	streamDone bool
+	window     []emu.Retired // fetched records not yet committed
+	windowBase uint64        // seq of window[0]
+	nextFetch  uint64        // next seq to decode
+
+	// Frontend.
+	ghr           branch.History
+	tage          *branch.TAGE
+	btb           *branch.BTB
+	ras           *branch.RAS
+	fetchStalled  bool   // waiting on a mispredicted branch to resolve
+	fetchResumeAt uint64 // cycle at which fetch may resume
+	fetchHeldBy   uint64 // seq of the branch fetch is stalled on
+	aq            *uopRing
+
+	// I-cache fetch stall.
+	icacheReadyAt uint64
+	lastFetchLine uint64
+
+	// Rename.
+	rat      [32]int32
+	freeList []int32
+	regReady []bool
+	waiters  []waiterList
+
+	// Committed architectural state for flush recovery: mapping plus the
+	// sequence number of the youngest committed writer per arch register.
+	cRAT       [32]int32
+	lastWriter [32]int64
+
+	// Pending NCSF'd µ-ops: head renamed, tail not yet (paper: ≤ 2).
+	pendingNCSF []*pUop
+
+	// Backend.
+	rob       *uopRing
+	iq        []*pUop
+	iqScratch []*pUop
+	lq        []*pUop
+	sq        []*pUop
+	events    map[uint64][]*pUop
+
+	// Predictors.
+	storeSets *memdep.StoreSets
+	uch       *helios.UCH
+	fp        *helios.FP
+	oracle    *fusion.Oracle
+
+	// Oracle pairings awaiting application, tail seq → pairing.
+	plannedPairs map[uint64]fusion.Pairing
+	oracleFed    uint64 // next seq the oracle expects
+
+	// Store buffer drain port state.
+	drainPortFree uint64
+	lastDrainDone uint64
+
+	cycle uint64
+	st    Stats
+}
+
+// New builds a pipeline over the given stream.
+func New(cfg Config, stream Stream) *Pipeline {
+	cfg.validate()
+	p := &Pipeline{
+		cfg:          cfg,
+		mem:          cache.New(cfg.Cache),
+		stream:       stream,
+		tage:         branch.NewTAGE(11),
+		btb:          branch.NewBTB(1024, 4),
+		ras:          branch.NewRAS(64),
+		aq:           newUopRing(cfg.AQSize),
+		rob:          newUopRing(cfg.ROBSize),
+		events:       make(map[uint64][]*pUop),
+		storeSets:    memdep.New(12, 7),
+		plannedPairs: make(map[uint64]fusion.Pairing),
+	}
+	// Physical register file: the first 32 back the initial RAT.
+	p.regReady = make([]bool, cfg.PhysRegs)
+	p.waiters = make([]waiterList, cfg.PhysRegs)
+	for i := 0; i < 32; i++ {
+		p.rat[i] = int32(i)
+		p.cRAT[i] = int32(i)
+		p.lastWriter[i] = -1
+		p.regReady[i] = true
+	}
+	for i := int32(32); i < int32(cfg.PhysRegs); i++ {
+		p.freeList = append(p.freeList, i)
+	}
+	if cfg.Mode.Predictive() {
+		if cfg.UCHLoadEntries > 0 {
+			p.uch = helios.NewUCHSize(cfg.UCHLoadEntries)
+		} else {
+			p.uch = helios.NewUCH()
+		}
+		p.fp = helios.NewFPWith(cfg.FP)
+	}
+	if cfg.Mode.OraclePairs() {
+		p.oracle = fusion.NewOracle(cfg.PairCfg)
+	}
+	return p
+}
+
+// Stats returns the accumulated statistics.
+func (p *Pipeline) Stats() *Stats { return &p.st }
+
+// Mem returns the cache hierarchy (for cache stats).
+func (p *Pipeline) Mem() *cache.Hierarchy { return p.mem }
+
+// Run simulates until the stream is exhausted and the pipeline drains, or
+// cfg.MaxUops architectural instructions have committed. It returns the
+// final statistics.
+func (p *Pipeline) Run() (*Stats, error) {
+	lastCommit := uint64(0)
+	lastCommitted := uint64(0)
+	for {
+		if p.cfg.MaxUops > 0 && p.st.CommittedInsts >= p.cfg.MaxUops {
+			break
+		}
+		if p.streamDone && p.rob.len() == 0 && p.aq.len() == 0 &&
+			int(p.nextFetch-p.windowBase) >= len(p.window) && len(p.sq) == 0 {
+			break
+		}
+		p.cycle++
+		p.st.Cycles++
+
+		p.commitStage()
+		p.drainStores()
+		p.writebackStage()
+		p.issueStage()
+		p.renameDispatchStage()
+		p.frontendStage()
+
+		// Watchdog: the model must always make forward progress.
+		if p.st.CommittedInsts != lastCommitted {
+			lastCommitted = p.st.CommittedInsts
+			lastCommit = p.cycle
+		} else if p.cycle-lastCommit > 100000 {
+			return &p.st, fmt.Errorf("ooo: no commit for 100000 cycles at cycle %d (rob=%d aq=%d iq=%d lq=%d sq=%d head=%v)",
+				p.cycle, p.rob.len(), p.aq.len(), len(p.iq), len(p.lq), len(p.sq), p.describeROBHead())
+		}
+	}
+	return &p.st, nil
+}
+
+func (p *Pipeline) describeROBHead() string {
+	u := p.rob.front()
+	if u == nil {
+		return "<empty>"
+	}
+	return fmt.Sprintf("seq=%d %v st=%d kind=%v validated=%v pendSrcs=%d",
+		u.seq, u.r.Inst, u.st, u.kind, u.validated, u.pendSrcs)
+}
+
+// record returns the dynamic record for seq, which must be inside the
+// window.
+func (p *Pipeline) record(seq uint64) *emu.Retired {
+	idx := int(seq - p.windowBase)
+	if idx < 0 || idx >= len(p.window) {
+		return nil
+	}
+	return &p.window[idx]
+}
+
+// span returns records [from, to] inclusive, or nil if out of window.
+func (p *Pipeline) span(from, to uint64) []emu.Retired {
+	lo := int(from - p.windowBase)
+	hi := int(to - p.windowBase)
+	if lo < 0 || hi >= len(p.window) || lo > hi {
+		return nil
+	}
+	return p.window[lo : hi+1]
+}
+
+// fetchRecord pulls the record for seq into the window, reading from the
+// stream as needed. Returns nil when the stream is exhausted first.
+func (p *Pipeline) fetchRecord(seq uint64) *emu.Retired {
+	for uint64(len(p.window))+p.windowBase <= seq && !p.streamDone {
+		r, ok := p.stream()
+		if !ok {
+			p.streamDone = true
+			break
+		}
+		if len(p.window) == 0 {
+			p.windowBase = r.Seq
+		}
+		p.window = append(p.window, r)
+	}
+	return p.record(seq)
+}
+
+// pruneWindow drops records older than the oldest seq that can still be
+// needed (everything below the commit point, keeping MaxDist of history
+// for oracle re-priming after a flush).
+func (p *Pipeline) pruneWindow(committedSeq uint64) {
+	keepFrom := committedSeq
+	slack := uint64(p.cfg.PairCfg.MaxDist + 2)
+	if keepFrom > slack {
+		keepFrom -= slack
+	} else {
+		keepFrom = 0
+	}
+	if keepFrom <= p.windowBase {
+		return
+	}
+	drop := int(keepFrom - p.windowBase)
+	if drop > len(p.window) {
+		drop = len(p.window)
+	}
+	// Copy down occasionally rather than re-slicing forever.
+	if drop > 4096 {
+		p.window = append(p.window[:0], p.window[drop:]...)
+		p.windowBase = keepFrom
+	}
+}

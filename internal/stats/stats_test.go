@@ -1,0 +1,94 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestGeomean(t *testing.T) {
+	if g := Geomean([]float64{2, 8}); math.Abs(g-4) > 1e-12 {
+		t.Errorf("Geomean(2,8) = %v, want 4", g)
+	}
+	if g := Geomean([]float64{1, 1, 1}); math.Abs(g-1) > 1e-12 {
+		t.Errorf("Geomean(1,1,1) = %v", g)
+	}
+	if g := Geomean(nil); g != 0 {
+		t.Errorf("Geomean(nil) = %v, want 0", g)
+	}
+	// Non-positive values are ignored rather than poisoning the result.
+	if g := Geomean([]float64{0, 4}); math.Abs(g-4) > 1e-12 {
+		t.Errorf("Geomean(0,4) = %v, want 4", g)
+	}
+}
+
+func TestGeomeanBounds(t *testing.T) {
+	f := func(a, b, c float64) bool {
+		clamp := func(v float64) float64 {
+			return math.Mod(math.Abs(v), 1000) + 0.1
+		}
+		xs := []float64{clamp(a), clamp(b), clamp(c)}
+		g := Geomean(xs)
+		lo, hi := xs[0], xs[0]
+		for _, x := range xs {
+			lo = math.Min(lo, x)
+			hi = math.Max(hi, x)
+		}
+		return g >= lo*(1-1e-12)-1e-9 && g <= hi*(1+1e-12)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if m := Mean([]float64{1, 2, 3}); math.Abs(m-2) > 1e-12 {
+		t.Errorf("Mean = %v", m)
+	}
+	if m := Mean(nil); m != 0 {
+		t.Errorf("Mean(nil) = %v", m)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Title", "name", "value")
+	tb.AddRow("alpha", "1")
+	tb.AddRow("beta-longer", "22")
+	out := tb.String()
+	if !strings.Contains(out, "Title") {
+		t.Error("missing title")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, two rows
+		t.Fatalf("lines = %d: %q", len(lines), out)
+	}
+	// Columns align: "value" column starts at the same offset in each row.
+	idx := strings.Index(lines[1], "value")
+	if !strings.HasPrefix(lines[3][idx:], "1") {
+		t.Errorf("misaligned column:\n%s", out)
+	}
+	if tb.NumRows() != 2 || tb.Row(0)[0] != "alpha" {
+		t.Error("row accessors wrong")
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddRow("x,y", `q"u`)
+	tb.AddRow("plain") // short row: missing cells render empty
+	csv := tb.CSV()
+	want := "a,b\n\"x,y\",\"q\"\"u\"\nplain,\n"
+	if csv != want {
+		t.Errorf("CSV = %q, want %q", csv, want)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if F(1.23456, 2) != "1.23" {
+		t.Error("F wrong")
+	}
+	if Pct(0.1234, 1) != "12.3%" {
+		t.Error("Pct wrong")
+	}
+}

@@ -1,0 +1,898 @@
+package workloads
+
+// MiBench-style kernels: the paper evaluates the MiBench large inputs;
+// these kernels reproduce each benchmark's inner-loop character. Hot loops
+// are written the way -O3 compiled code looks: loop-invariant constants
+// are hoisted into registers and affine addressing is strength-reduced to
+// pointer increments; only data-dependent indexing (table lookups, ring
+// buffers) keeps the shift-add address idiom.
+
+func init() {
+	register(Workload{
+		Name:     "crc32",
+		PaperRef: "MiBench crc32",
+		MaxInsts: 300_000,
+		Source: `
+	.data
+table:
+	.zero 1024
+buf:
+	.zero 8192
+	.text
+_start:
+	# Build the CRC-32 table.
+	la s0, table
+	li s1, 0
+	li s9, 256
+	li s10, 0xEDB88320
+tloop:
+	mv t0, s1
+	li t1, 8
+bitloop:
+	andi t2, t0, 1
+	srli t0, t0, 1
+	beqz t2, skipxor
+	xor t0, t0, s10
+skipxor:
+	addi t1, t1, -1
+	bnez t1, bitloop
+	slli t4, s1, 2
+	add t5, s0, t4
+	sw t0, 0(t5)
+	addi s1, s1, 1
+	blt s1, s9, tloop
+
+	# Fill the buffer with an LCG byte stream (pointer walk).
+	la s2, buf
+	li s4, 12345
+	li s5, 1103515245
+	li s7, 12345
+	mv t0, s2
+	li t5, 8192
+	add s8, s2, t5   # end
+fill:
+	mul s4, s4, s5
+	add s4, s4, s7
+	srli t2, s4, 16
+	sb t2, 0(t0)
+	addi t0, t0, 1
+	bltu t0, s8, fill
+
+	# CRC the buffer: pointer walk, data-dependent table lookup.
+	li s6, 0xffffffff
+	mv t0, s2
+crcloop:
+	lbu t2, 0(t0)
+	xor t3, s6, t2
+	andi t3, t3, 255
+	slli t3, t3, 2
+	add t3, s0, t3
+	lwu t4, 0(t3)
+	srli s6, s6, 8
+	xor s6, s6, t4
+	addi t0, t0, 1
+	bltu t0, s8, crcloop
+
+	li a7, 93
+	li a0, 0
+	ecall
+`,
+	})
+
+	register(Workload{
+		Name:     "bitcount",
+		PaperRef: "MiBench bitcount",
+		MaxInsts: 320_000,
+		Source: `
+	.data
+nibbles:
+	.byte 0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4
+counts:
+	.zero 2048
+	.text
+_start:
+	la s0, nibbles
+	la s10, counts
+	li s11, 0        # output index
+	li s1, 6000      # values to count
+	li s2, 987654321 # LCG state
+	li s3, 1664525
+	li s4, 0         # accumulator (parallel-bits method)
+	li s5, 0         # accumulator (nibble-table method)
+	li s6, 0x5555555555555555
+	li s7, 0x3333333333333333
+	li s8, 0x0f0f0f0f0f0f0f0f
+	li s9, 1013904223
+vloop:
+	mul s2, s2, s3
+	add s2, s2, s9
+	mv t0, s2
+
+	# Method 1: parallel bit counting.
+	srli t1, t0, 1
+	and t1, t1, s6
+	sub t1, t0, t1
+	srli t2, t1, 2
+	and t2, t2, s7
+	and t1, t1, s7
+	add t1, t1, t2
+	srli t2, t1, 4
+	add t1, t1, t2
+	and t1, t1, s8
+	srli t2, t1, 8
+	add t1, t1, t2
+	srli t2, t1, 16
+	add t1, t1, t2
+	srli t2, t1, 32
+	add t1, t1, t2
+	andi t1, t1, 127
+	add s4, s4, t1
+
+	# Method 2: nibble table over the low 16 bits (data-dependent).
+	andi t3, t0, 15
+	add t4, s0, t3
+	lbu t5, 0(t4)
+	add s5, s5, t5
+	srli t3, t0, 4
+	andi t3, t3, 15
+	add t4, s0, t3
+	lbu t5, 0(t4)
+	add s5, s5, t5
+	srli t3, t0, 8
+	andi t3, t3, 15
+	add t4, s0, t3
+	lbu t5, 0(t4)
+	add s5, s5, t5
+	srli t3, t0, 12
+	andi t3, t3, 15
+	add t4, s0, t3
+	lbu t5, 0(t4)
+	add s5, s5, t5
+
+	# Record this value's count.
+	andi s11, s11, 2047
+	add t6, s10, s11
+	sb t1, 0(t6)
+	addi s11, s11, 1
+
+	addi s1, s1, -1
+	bnez s1, vloop
+
+	li a7, 93
+	li a0, 0
+	ecall
+`,
+	})
+
+	register(Workload{
+		Name:     "qsort",
+		PaperRef: "MiBench qsort",
+		MaxInsts: 400_000,
+		Source: `
+	.data
+arr:
+	.zero 8192       # 1024 dwords
+	.text
+_start:
+	# Fill with LCG values (pointer walk).
+	la s0, arr
+	li t1, 424242
+	li t2, 6364136223846793005
+	li s4, 1442695040888963407
+	mv t0, s0
+	li t6, 8192
+	add s5, s0, t6   # end
+fillq:
+	mul t1, t1, t2
+	add t1, t1, s4
+	srli t3, t1, 33
+	sd t3, 0(t0)
+	addi t0, t0, 8
+	bltu t0, s5, fillq
+
+	# Iterative quicksort with an explicit range stack; the partition
+	# walks element pointers as compiled code would.
+	mv s3, sp        # stack sentinel
+	li s1, 0
+	li s2, 1023
+	addi sp, sp, -16
+	sd s1, 0(sp)
+	sd s2, 8(sp)
+qloop:
+	beq sp, s3, qdone
+	ld s1, 0(sp)
+	ld s2, 8(sp)
+	addi sp, sp, 16
+	bge s1, s2, qloop
+	# Lomuto partition, pivot = arr[hi].
+	slli t0, s2, 3
+	add t0, s0, t0   # &arr[hi]
+	ld t1, 0(t0)     # pivot
+	slli t2, s1, 3
+	add t2, s0, t2   # i pointer
+	mv t3, t2        # j pointer
+part:
+	bgeu t3, t0, partdone
+	ld t5, 0(t3)
+	bgeu t5, t1, noswap
+	ld a1, 0(t2)
+	sd t5, 0(t2)
+	sd a1, 0(t3)
+	addi t2, t2, 8
+noswap:
+	addi t3, t3, 8
+	j part
+partdone:
+	ld t5, 0(t2)
+	sd t1, 0(t2)
+	sd t5, 0(t0)
+	# Convert the i pointer back to an index; push (lo, i-1), (i+1, hi).
+	sub t4, t2, s0
+	srli t4, t4, 3
+	addi a2, t4, -1
+	addi a3, t4, 1
+	addi sp, sp, -32
+	sd s1, 0(sp)
+	sd a2, 8(sp)
+	sd a3, 16(sp)
+	sd s2, 24(sp)
+	j qloop
+qdone:
+	# Verify sortedness; exit 1 on failure.
+	addi t0, s0, 8
+	li t6, 8192
+	add t6, s0, t6
+verify:
+	ld t2, 0(t0)
+	ld t3, -8(t0)
+	bltu t2, t3, bad
+	addi t0, t0, 8
+	bltu t0, t6, verify
+	li a7, 93
+	li a0, 0
+	ecall
+bad:
+	li a7, 93
+	li a0, 1
+	ecall
+`,
+	})
+
+	register(Workload{
+		Name:     "sha",
+		PaperRef: "MiBench sha (unrolled SHA-1 schedule + compress)",
+		MaxInsts: 300_000,
+		Source:   shaSource(),
+	})
+
+	register(Workload{
+		Name:     "stringsearch",
+		PaperRef: "MiBench stringsearch",
+		MaxInsts: 300_000,
+		Source: `
+	.data
+text:
+	.zero 2048
+pats:
+	.zero 256        # 16 patterns x 16 bytes
+	.text
+_start:
+	# Generate pseudo-text of letters a-p (pointer walk).
+	la s0, text
+	li t1, 777
+	li t2, 1103515245
+	li s3, 12345
+	li s8, 54321
+	mv t0, s0
+	li t5, 2048
+	add s9, s0, t5   # text end
+gentext:
+	mul t1, t1, t2
+	add t1, t1, s3
+	srli t3, t1, 20
+	andi t3, t3, 15
+	addi t3, t3, 97
+	sb t3, 0(t0)
+	addi t0, t0, 1
+	bltu t0, s9, gentext
+
+	# Generate 16 patterns of 8 letters each (stride 16).
+	la s1, pats
+	li t0, 0
+	li t5, 256
+	li s10, 8
+genpat:
+	mul t1, t1, t2
+	add t1, t1, s8
+	andi t6, t0, 15
+	bgeu t6, s10, patskip
+	srli t3, t1, 18
+	andi t3, t3, 15
+	addi t3, t3, 97
+	add t4, s1, t0
+	sb t3, 0(t4)
+patskip:
+	addi t0, t0, 1
+	blt t0, t5, genpat
+
+	# Naive search: for each pattern, scan the text with a pointer.
+	li s2, 0         # pattern index
+	li s4, 0         # match count
+	addi s11, s9, -8 # scan end
+patloop:
+	slli t0, s2, 4
+	add s5, s1, t0   # pattern base
+	lbu s6, 0(s5)    # first char
+	mv t1, s0        # text pointer
+scan:
+	lbu t2, 0(t1)
+	bne t2, s6, nomatch
+	# Compare the remaining 7 chars.
+	li t3, 1
+cmploop:
+	add t4, s5, t3
+	lbu t5, 0(t4)
+	add t4, t1, t3
+	lbu t6, 0(t4)
+	bne t5, t6, nomatch
+	addi t3, t3, 1
+	blt t3, s10, cmploop
+	addi s4, s4, 1
+nomatch:
+	addi t1, t1, 1
+	bltu t1, s11, scan
+	addi s2, s2, 1
+	li t5, 16
+	blt s2, t5, patloop
+
+	li a7, 93
+	li a0, 0
+	ecall
+`,
+	})
+
+	register(Workload{
+		Name:     "basicmath",
+		PaperRef: "MiBench basicmath",
+		MaxInsts: 350_000,
+		Source: `
+	.data
+results:
+	.zero 2048       # 256 dwords, result ring
+	.text
+_start:
+	la s9, results
+	li s11, 0        # ring index
+	li s0, 2000      # iterations
+	li s1, 99991     # LCG state
+	li s2, 22695477
+	li s10, 0        # checksum
+	li s3, 0xfffff   # mask (hoisted)
+	li s4, 32768     # sqrt initial guess (hoisted)
+mloop:
+	mul s1, s1, s2
+	addi s1, s1, 1
+	srli t0, s1, 33  # a
+	srli t1, s1, 12
+	and t1, t1, s3   # b
+	addi t0, t0, 3
+	addi t1, t1, 7
+
+	# gcd(a, b) by remainder.
+	mv t3, t0
+	mv t4, t1
+gcd:
+	beqz t4, gcddone
+	rem t5, t3, t4
+	mv t3, t4
+	mv t4, t5
+	j gcd
+gcddone:
+	add s10, s10, t3
+
+	# Integer square root by Newton iteration.
+	mv t3, t0
+	beqz t3, sqrtdone
+	mv t4, s4
+	li t6, 8
+newton:
+	div t5, t3, t4
+	add t4, t4, t5
+	srli t4, t4, 1
+	addi t6, t6, -1
+	bnez t6, newton
+sqrtdone:
+	add s10, s10, t4
+
+	# Cubic polynomial evaluation (Horner).
+	mv t3, t1
+	li t4, 3
+	mul t5, t3, t4
+	addi t5, t5, -5
+	mul t5, t5, t3
+	addi t5, t5, 7
+	mul t5, t5, t3
+	addi t5, t5, -11
+	add s10, s10, t5
+
+	# Store the iteration result and fold in an older one.
+	andi s11, s11, 255
+	slli t6, s11, 3
+	add t6, s9, t6
+	ld a1, 0(t6)
+	add s10, s10, a1
+	sd s10, 0(t6)
+	addi s11, s11, 1
+
+	addi s0, s0, -1
+	bnez s0, mloop
+
+	li a7, 93
+	li a0, 0
+	ecall
+`,
+	})
+
+	register(Workload{
+		Name:     "fft",
+		PaperRef: "MiBench fft (fixed point, interleaved complex)",
+		MaxInsts: 350_000,
+		Source: `
+	.data
+	.align 6
+cplx:
+	.zero 8192       # 512 complex points x 16 bytes {re, im}
+tw:
+	.zero 2048       # 256 twiddle dwords
+	.text
+_start:
+	la s0, cplx
+	la s2, tw
+	# Fill inputs and twiddles with an LCG (pointer walks).
+	li t1, 31337
+	li t2, 6364136223846793005
+	li s7, 1442695040888963407
+	li s9, 0xffffff
+	mv t0, s0
+	li t6, 8192
+	add s10, s0, t6  # cplx end
+ffill:
+	mul t1, t1, t2
+	add t1, t1, s7
+	srli t3, t1, 40
+	sd t3, 0(t0)     # re
+	srli t3, t1, 20
+	and t3, t3, s9
+	sd t3, 8(t0)     # im
+	addi t0, t0, 16
+	bltu t0, s10, ffill
+	mv t0, s2
+	li t6, 2048
+	add s11, s2, t6  # tw end
+tfill:
+	mul t1, t1, t2
+	addi t1, t1, 99
+	srli t3, t1, 48
+	sd t3, 0(t0)
+	addi t0, t0, 8
+	bltu t0, s11, tfill
+
+	# 9 radix-2 passes over 512 interleaved complex points, repeated.
+	li s8, 4         # transforms
+xform:
+	li s3, 1         # half-span (elements)
+	li s4, 9         # passes
+pass:
+	mv s5, s0        # group pointer
+	slli s6, s3, 4   # half-span in bytes
+group:
+	mv t2, s5        # top pointer
+	add t4, s5, s6   # bottom pointer
+	add a5, s5, s6   # group end for the butterfly walk
+	mv a1, s2        # twiddle pointer
+bfly:
+	ld t3, 0(t2)     # re[top]
+	ld a6, 8(t2)     # im[top] (contiguous pair)
+	ld t5, 0(t4)     # re[bot]
+	ld t6, 8(t4)     # im[bot] (contiguous pair)
+	ld a2, 0(a1)     # twiddle
+	mul t5, t5, a2
+	srai t5, t5, 16
+	mul t6, t6, a2
+	srai t6, t6, 16
+	add a3, t3, t5
+	sd a3, 0(t2)
+	add a4, a6, t6
+	sd a4, 8(t2)     # store pair (separated by one ALU op)
+	sub a3, t3, t5
+	sd a3, 0(t4)
+	sub a4, a6, t6
+	sd a4, 8(t4)     # store pair (separated by one ALU op)
+	addi t2, t2, 16
+	addi t4, t4, 16
+	addi a1, a1, 8
+	bltu t2, a5, bfly
+	slli t6, s6, 1
+	add s5, s5, t6
+	bltu s5, s10, group
+	slli s3, s3, 1
+	addi s4, s4, -1
+	bnez s4, pass
+	addi s8, s8, -1
+	bnez s8, xform
+
+	li a7, 93
+	li a0, 0
+	ecall
+`,
+	})
+
+	register(Workload{
+		Name:     "dijkstra",
+		PaperRef: "MiBench dijkstra",
+		MaxInsts: 400_000,
+		Source: `
+	.data
+adj:
+	.zero 36864      # 96 x 96 words
+dist:
+	.zero 384        # 96 words
+vis:
+	.zero 96
+	.text
+_start:
+	la s0, adj
+	la s1, dist
+	la s2, vis
+	li s3, 96        # N
+
+	# Random weight matrix (pointer walk).
+	li t1, 55555
+	li t2, 1103515245
+	li s5, 12345
+	mv t0, s0
+	li t5, 36864
+	add s6, s0, t5   # adj end
+wfill:
+	mul t1, t1, t2
+	add t1, t1, s5
+	srli t3, t1, 16
+	andi t3, t3, 1023
+	addi t3, t3, 1
+	sw t3, 0(t0)
+	addi t0, t0, 4
+	bltu t0, s6, wfill
+
+	li s11, 2        # runs with different sources
+	li s10, 0        # source node
+	li s7, 0x3fffffff # INF (hoisted)
+	slli s8, s3, 2
+	add s8, s1, s8   # dist end
+run:
+	# Initialise dist = INF, vis = 0; dist[src] = 0.
+	mv t0, s1
+	mv t3, s2
+init:
+	sw s7, 0(t0)
+	sb zero, 0(t3)
+	addi t0, t0, 4
+	addi t3, t3, 1
+	bltu t0, s8, init
+	slli t1, s10, 2
+	add t1, s1, t1
+	sw zero, 0(t1)
+
+	mv s4, s3        # iterations
+dloop:
+	# Find the unvisited node with minimal distance (pointer walk).
+	mv t0, s2        # vis pointer
+	mv t5, s1        # dist pointer
+	li a1, -1        # best index
+	li t6, 0         # index
+	mv a2, s7
+find:
+	lbu t4, 0(t0)
+	bnez t4, findnext
+	lw a4, 0(t5)
+	bge a4, a2, findnext
+	mv a2, a4
+	mv a1, t6
+findnext:
+	addi t0, t0, 1
+	addi t5, t5, 4
+	addi t6, t6, 1
+	blt t6, s3, find
+	bltz a1, rundone
+	# Mark visited and relax neighbours (paired row/dist pointers).
+	add t3, s2, a1
+	li t4, 1
+	sb t4, 0(t3)
+	mul t5, a1, s3
+	slli t5, t5, 2
+	add t5, s0, t5   # row pointer
+	mv a3, s1        # dist pointer
+relax:
+	lw a4, 0(t5)     # weight
+	lw a6, 0(a3)     # current distance (DBR pair with the weight load)
+	add a5, a2, a4
+	bge a5, a6, relaxnext
+	sw a5, 0(a3)
+relaxnext:
+	addi t5, t5, 4
+	addi a3, a3, 4
+	bltu a3, s8, relax
+	addi s4, s4, -1
+	bnez s4, dloop
+rundone:
+	addi s10, s10, 17
+	addi s11, s11, -1
+	bnez s11, run
+
+	li a7, 93
+	li a0, 0
+	ecall
+`,
+	})
+
+	register(Workload{
+		Name:     "susan",
+		PaperRef: "MiBench susan (smoothing)",
+		MaxInsts: 350_000,
+		Source: `
+	.data
+img:
+	.zero 7744       # 88 x 88 bytes
+out:
+	.zero 7744
+	.text
+_start:
+	la s0, img
+	la s1, out
+	li s2, 88        # dimension
+
+	# Random image (pointer walk).
+	li t1, 4242
+	li t2, 1664525
+	li s5, 1013904223
+	mv t0, s0
+	li t5, 7744
+	add s6, s0, t5
+ifill:
+	mul t1, t1, t2
+	add t1, t1, s5
+	srli t3, t1, 24
+	sb t3, 0(t0)
+	addi t0, t0, 1
+	bltu t0, s6, ifill
+
+	# 3x3 box filter over the interior: the centre and output pointers
+	# walk the row; neighbour taps are constant offsets (three contiguous
+	# byte loads per stencil row).
+	li s7, 57        # divide-by-9 multiplier (hoisted)
+	li s3, 1         # row
+	addi s8, s2, -1  # bound
+rowloop:
+	mul t0, s3, s2
+	addi t0, t0, 1
+	add t1, s0, t0   # centre pointer
+	add t4, s1, t0   # output pointer
+	addi s4, s8, -1  # columns to process
+colloop:
+	addi t2, t1, -89
+	lbu a1, 0(t2)
+	lbu a2, 1(t2)
+	lbu a3, 2(t2)
+	add a1, a1, a2
+	add a1, a1, a3
+	addi t2, t1, -1
+	lbu a2, 0(t2)
+	lbu a3, 1(t2)
+	lbu a4, 2(t2)
+	add a2, a2, a3
+	add a1, a1, a2
+	add a1, a1, a4
+	addi t2, t1, 87
+	lbu a2, 0(t2)
+	lbu a3, 1(t2)
+	lbu a4, 2(t2)
+	add a2, a2, a3
+	add a1, a1, a2
+	add a1, a1, a4
+	mul a1, a1, s7
+	srli a1, a1, 9
+	sb a1, 0(t4)
+	addi t1, t1, 1
+	addi t4, t4, 1
+	addi s4, s4, -1
+	bnez s4, colloop
+	addi s3, s3, 1
+	blt s3, s8, rowloop
+
+	li a7, 93
+	li a0, 0
+	ecall
+`,
+	})
+
+	register(Workload{
+		Name:     "rijndael",
+		PaperRef: "MiBench rijndael",
+		MaxInsts: 300_000,
+		Source: `
+	.data
+tbox:
+	.zero 4096       # 4 tables x 256 words
+cipher:
+	.zero 8192       # ciphertext output ring
+	.text
+_start:
+	la s0, tbox
+	la s8, cipher
+	mv s9, s8        # output pointer
+	li s10, 8192
+	add s10, s8, s10 # output end
+	# Fill the lookup tables (pointer walk).
+	li t1, 0xc0ffee
+	li t2, 22695477
+	mv t0, s0
+	li t5, 4096
+	add s3, s0, t5
+tfill:
+	mul t1, t1, t2
+	addi t1, t1, 1
+	srli t3, t1, 13
+	sw t3, 0(t0)
+	addi t0, t0, 4
+	bltu t0, s3, tfill
+
+	li s1, 2200      # blocks
+	addi s4, s0, 1024 # table 1 base
+	addi s5, s4, 1024 # table 2 base
+	addi s6, s5, 1024 # table 3 base
+	li s2, 0x0123456789abcdef # running block state
+blockloop:
+	mv t0, s2
+	li s7, 4         # rounds
+roundloop:
+	# Four data-dependent table lookups on the state bytes.
+	andi t1, t0, 255
+	slli t1, t1, 2
+	add t1, s0, t1
+	lwu t2, 0(t1)
+	srli t3, t0, 8
+	andi t3, t3, 255
+	slli t3, t3, 2
+	add t3, s4, t3
+	lwu t4, 0(t3)
+	srli t5, t0, 16
+	andi t5, t5, 255
+	slli t5, t5, 2
+	add t5, s5, t5
+	lwu t6, 0(t5)
+	srli a1, t0, 24
+	andi a1, a1, 255
+	slli a1, a1, 2
+	add a1, s6, a1
+	lwu a2, 0(a1)
+	# Combine.
+	xor t2, t2, t4
+	slli t6, t6, 13
+	xor t2, t2, t6
+	slli a2, a2, 29
+	xor t0, t2, a2
+	addi s7, s7, -1
+	bnez s7, roundloop
+	add s2, s2, t0
+	addi s2, s2, 1
+	# Emit the ciphertext block: two stores separated by the whitening
+	# computation (a non-consecutive same-base store pair).
+	sd t0, 0(s9)
+	xor t2, t0, s2
+	slli t2, t2, 3
+	sd t2, 8(s9)
+	addi s9, s9, 16
+	bltu s9, s10, cipherok
+	mv s9, s8
+cipherok:
+	addi s1, s1, -1
+	bnez s1, blockloop
+
+	li a7, 93
+	li a0, 0
+	ecall
+`,
+	})
+
+	register(Workload{
+		Name:     "adpcm",
+		PaperRef: "MiBench adpcm",
+		MaxInsts: 300_000,
+		Source: `
+	.data
+steps:
+	.word 7, 8, 9, 10, 11, 12, 13, 14, 16, 17, 19, 21, 23, 25, 28, 31
+	.word 34, 37, 41, 45, 50, 55, 60, 66, 73, 80, 88, 97, 107, 118, 130, 143
+outbuf:
+	.zero 4096
+	.text
+_start:
+	la s0, steps
+	la s7, outbuf
+	li s8, 0         # output index
+	li s1, 18000     # samples
+	li s2, 31415     # LCG
+	li s3, 1103515245
+	li s4, 0         # predictor
+	li s5, 8         # step index
+	li s6, 12345
+	li s9, 0xffff    # sample mask (hoisted)
+	li s10, 4        # magnitude threshold (hoisted)
+	li s11, 31       # max index (hoisted)
+sloop:
+	mul s2, s2, s3
+	add s2, s2, s6
+	srli t0, s2, 18
+	and t0, t0, s9   # sample
+	sub t1, t0, s4   # diff
+	bgez t1, pos
+	neg t1, t1
+	li t6, 8         # sign bit
+	j quant
+pos:
+	li t6, 0
+quant:
+	slli t2, s5, 2
+	add t2, s0, t2
+	lw t3, 0(t2)     # step (data-dependent lookup)
+	li t4, 0
+	blt t1, t3, q1
+	ori t4, t4, 4
+	sub t1, t1, t3
+q1:
+	srai t5, t3, 1
+	blt t1, t5, q2
+	ori t4, t4, 2
+	sub t1, t1, t5
+q2:
+	srai t5, t3, 2
+	blt t1, t5, q3
+	ori t4, t4, 1
+q3:
+	or t4, t4, t6
+	# Emit the code to the output stream.
+	andi a6, s8, 2047
+	add a2, s7, a6
+	sb t4, 0(a2)
+	addi s8, s8, 1
+	# Update the predictor and step index.
+	andi a2, t4, 7
+	mul a3, a2, t3
+	srai a3, a3, 2
+	beqz t6, addpred
+	sub s4, s4, a3
+	j clamp
+addpred:
+	add s4, s4, a3
+clamp:
+	# Index update: +-1 based on code magnitude.
+	blt a2, s10, dec
+	addi s5, s5, 2
+	j clampidx
+dec:
+	addi s5, s5, -1
+clampidx:
+	bgez s5, notneg
+	li s5, 0
+notneg:
+	ble s5, s11, idxok
+	li s5, 31
+idxok:
+	addi s1, s1, -1
+	bnez s1, sloop
+
+	li a7, 93
+	li a0, 0
+	ecall
+`,
+	})
+}

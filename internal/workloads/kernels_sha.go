@@ -1,0 +1,77 @@
+package workloads
+
+import (
+	"fmt"
+	"strings"
+)
+
+// shaSource generates the sha kernel. Real SHA-1 implementations unroll
+// the 80-round loop in groups of 16 so the schedule ring indices become
+// compile-time constants: every round then reads four words of w[16] at
+// fixed offsets (taps i-3, i-8, i-14, i-16) and writes one back. The four
+// taps always fall inside the single cache-line-aligned 64-byte ring, but
+// at non-contiguous offsets — the paper's non-contiguous (NCTF) fusion
+// case, invisible to consecutive+contiguous fusion.
+func shaSource() string {
+	var b strings.Builder
+	b.WriteString(`
+	.data
+	.align 6
+sched:
+	.zero 64         # 16-word ring schedule, cache-line aligned
+	.text
+_start:
+	la s0, sched
+	# Seed the schedule.
+	li t0, 0
+	li t1, 0x67452301
+	li t3, 0x9e3779b9
+	li t4, 16
+seed:
+	slli t2, t0, 2
+	add t2, s0, t2
+	sw t1, 0(t2)
+	add t1, t1, t3
+	addi t0, t0, 1
+	blt t0, t4, seed
+
+	li s1, 260       # 16-round groups (~4 rounds of 80 per block x 65)
+	li s2, 0xefcdab89 # state a
+	li s3, 0x98badcfe # state b
+	li s4, 0x10325476 # state c
+blockloop:
+`)
+	for r := 0; r < 16; r++ {
+		tap3 := (r + 13) % 16 * 4
+		tap8 := (r + 8) % 16 * 4
+		tap14 := (r + 2) % 16 * 4
+		tap16 := r % 16 * 4
+		fmt.Fprintf(&b, `	# Round %d: w[%d] = rotl1(w ^ taps), then compress.
+	lwu t3, %d(s0)
+	lwu t4, %d(s0)
+	lwu t5, %d(s0)
+	lwu t6, %d(s0)
+	xor t3, t3, t4
+	xor t3, t3, t5
+	xor t3, t3, t6
+	slliw a1, t3, 1
+	srliw a2, t3, 31
+	or t1, a1, a2
+	sw t1, %d(s0)
+	xor a1, s3, s4
+	and a1, a1, s2
+	xor a1, a1, s4
+	addw s4, s3, t1
+	mv s3, s2
+	addw s2, a1, t1
+`, r, r, tap3, tap8, tap14, tap16, tap16)
+	}
+	b.WriteString(`	addi s1, s1, -1
+	bnez s1, blockloop
+
+	li a7, 93
+	li a0, 0
+	ecall
+`)
+	return b.String()
+}

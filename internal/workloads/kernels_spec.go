@@ -1,0 +1,511 @@
+package workloads
+
+// SPEC CPU 2017-style kernels: each reproduces the dominant inner-loop
+// behaviour of the corresponding paper workload, in the pointer-increment
+// style -O3 code uses.
+
+func init() {
+	register(Workload{
+		Name:     "mcf",
+		PaperRef: "605.mcf (pointer chasing over arcs)",
+		MaxInsts: 300_000,
+		Source: `
+	.data
+nodes:
+	.zero 262144     # 8192 nodes x 32 bytes (exceeds the L1D: the chase
+	                 # is cache-latency bound, as 605.mcf is DRAM bound)
+	.text
+_start:
+	la s0, nodes
+	li s1, 8192      # node count
+
+	# Link node[i] -> node[(i*1657+17) % 4096]: a full permutation walk
+	# with a cache-hostile stride; the payload fields sit next to the
+	# pointer (pair-able loads on traversal).
+	li t0, 0
+	li s2, 1657
+	li s3, 8191
+	mv t4, s0        # this-node pointer
+build:
+	mul t2, t0, s2
+	addi t2, t2, 17
+	and t2, t2, s3
+	slli t3, t2, 5
+	add t3, s0, t3   # next node address
+	sd t3, 0(t4)     # next pointer
+	sd t0, 8(t4)     # cost payload
+	sd t2, 16(t4)    # flow payload
+	addi t4, t4, 32
+	addi t0, t0, 1
+	blt t0, s1, build
+
+	# Chase the list, accumulating cost+flow (ld 8(x) / ld 16(x) pair).
+	li s4, 6         # passes
+	li s5, 0         # checksum
+chase:
+	mv t0, s0
+	li t1, 8192
+walk:
+	ld t2, 8(t0)
+	ld t3, 16(t0)
+	add s5, s5, t2
+	add s5, s5, t3
+	ld t0, 0(t0)
+	addi t1, t1, -1
+	bnez t1, walk
+	addi s4, s4, -1
+	bnez s4, chase
+
+	li a7, 93
+	li a0, 0
+	ecall
+`,
+	})
+
+	register(Workload{
+		Name:     "xz",
+		PaperRef: "657.xz (LZ match emission, store-queue pressure)",
+		MaxInsts: 350_000,
+		Source: `
+	.data
+src:
+	.zero 16384
+dst:
+	.zero 32768
+	.text
+_start:
+	la s0, src
+	la s1, dst
+
+	# Seed the source window (pointer walk).
+	li t1, 271828
+	li t2, 6364136223846793005
+	li s7, 1442695040888963407
+	mv t0, s0
+	li t4, 16384
+	add s8, s0, t4   # src end
+sfill:
+	mul t1, t1, t2
+	add t1, t1, s7
+	sd t1, 0(t0)
+	addi t0, t0, 8
+	bltu t0, s8, sfill
+
+	# LZ match emission: each match writes a token header (three small
+	# stores into one line, separated by the length/offset computations,
+	# i.e. non-consecutive store pairs) and then copies 32 bytes with
+	# loads and stores interleaved with ALU work, as compilers schedule
+	# them. Store bursts far exceed one store per cycle: the store queue
+	# is the bottleneck, which memory fusion relieves (the paper's 657.xz
+	# behaviour).
+	li s2, 2600      # matches
+	li s3, 0         # destination offset
+	li s4, 918273    # LCG
+	li s5, 22695477
+	li s6, 12345
+	li s9, 16319     # source offset mask
+	li s10, 32640    # destination wrap bound
+match:
+	mul s4, s4, s5
+	add s4, s4, s6
+	srli t0, s4, 16
+	and t0, t0, s9
+	andi t0, t0, -8
+	add t1, s0, t0   # source pointer
+	add t2, s1, s3   # destination pointer
+	# Token header: tag byte, length halfword, offset word. The stores
+	# hit the same line but are separated by the field computations.
+	srli t4, s4, 8
+	sb t4, 0(t2)
+	srli t5, s4, 24
+	andi t5, t5, 63
+	addi t5, t5, 3   # match length field
+	sh t5, 2(t2)
+	xor a5, t5, t0
+	slli a5, a5, 1
+	sw a5, 4(t2)
+	# Copy 64 bytes: load pairs feed stores; each store pair is split by
+	# real work (pointer bumps, checksum updates), so only non-consecutive
+	# fusion can pair the stores. The burst exceeds one store per cycle:
+	# the store queue is the binding resource.
+	ld a1, 0(t1)
+	ld a2, 8(t1)
+	sd a1, 8(t2)
+	addi t1, t1, 16
+	srli a6, a1, 32
+	sd a2, 16(t2)
+	ld a3, 0(t1)
+	ld a4, 8(t1)
+	sd a3, 24(t2)
+	xor a6, a6, a4
+	sd a4, 32(t2)
+	ld a1, 0(t1)
+	ld a2, 8(t1)
+	sd a1, 40(t2)
+	addi t1, t1, 16
+	add s11, s11, a6
+	sd a2, 48(t2)
+	ld a3, 0(t1)
+	ld a4, 8(t1)
+	sd a3, 56(t2)
+	xor a6, a3, a4
+	add s11, s11, a6
+	sd a4, 64(t2)
+	addi s3, s3, 72
+	bltu s3, s10, nowrap
+	li s3, 0
+nowrap:
+	addi s2, s2, -1
+	bnez s2, match
+
+	li a7, 93
+	li a0, 0
+	ecall
+`,
+	})
+
+	register(Workload{
+		Name:     "gcc",
+		PaperRef: "602.gcc (hash tables, branchy integer)",
+		MaxInsts: 350_000,
+		Source: `
+	.data
+htab:
+	.zero 65536      # 2048 buckets x 32 bytes (key, value, count, flags)
+	.text
+_start:
+	la s0, htab
+	li s1, 14000     # operations
+	li s2, 133331    # LCG
+	li s3, 1664525
+	li s4, 0         # hits
+	li s5, 0         # inserts
+	li s6, 1013904223
+	li s7, 0xffff    # key mask (hoisted)
+	li s8, 2654435761 # hash multiplier (hoisted)
+	li s9, 65536
+	add s9, s0, s9   # table end (hoisted)
+oploop:
+	mul s2, s2, s3
+	add s2, s2, s6
+	srli t0, s2, 16
+	and t0, t0, s7
+	addi t0, t0, 1   # key (never 0)
+	# Multiplicative hash to a bucket.
+	mul t3, t0, s8
+	srli t3, t3, 16
+	andi t3, t3, 2047
+	slli t3, t3, 5
+	add t3, s0, t3   # bucket address
+	ld t4, 0(t3)     # stored key
+	beqz t4, insert
+	bne t4, t0, collide
+	# Hit: update the record fields; the stores are separated by the
+	# field computations (non-consecutive same-base store pairs).
+	ld t5, 8(t3)
+	addi t5, t5, 1
+	sd t5, 8(t3)
+	ld t6, 16(t3)
+	add t6, t6, t0
+	sd t6, 16(t3)
+	xor a2, t5, t6
+	sd a2, 24(t3)
+	addi s4, s4, 1
+	j opnext
+collide:
+	# Linear probe one step (wrap inside the table).
+	addi t3, t3, 32
+	bltu t3, s9, probeok
+	mv t3, s0
+probeok:
+	ld t4, 0(t3)
+	beqz t4, insert
+	bne t4, t0, opnext  # give up after one probe
+	ld t5, 8(t3)
+	addi t5, t5, 1
+	sd t5, 8(t3)
+	addi s4, s4, 1
+	j opnext
+insert:
+	sd t0, 0(t3)
+	li t5, 1
+	sd t5, 8(t3)
+	add t6, t0, t5
+	sd t6, 16(t3)
+	slli a2, t0, 1
+	sd a2, 24(t3)
+	addi s5, s5, 1
+opnext:
+	addi s1, s1, -1
+	bnez s1, oploop
+
+	li a7, 93
+	li a0, 0
+	ecall
+`,
+	})
+
+	register(Workload{
+		Name:     "perlbench",
+		PaperRef: "600.perlbench (string hashing)",
+		MaxInsts: 350_000,
+		Source: `
+	.data
+text:
+	.zero 4096
+	.text
+_start:
+	la s0, text
+	# Generate words of 3-10 letters separated by spaces.
+	li t0, 0
+	li t1, 161803
+	li t2, 22695477
+	li s2, 12345
+	li t6, 4094
+gen:
+	mul t1, t1, t2
+	add t1, t1, s2
+	srli t3, t1, 16
+	andi t4, t3, 7
+	addi t4, t4, 3   # word length
+word:
+	mul t1, t1, t2
+	add t1, t1, s2
+	srli t3, t1, 20
+	andi t3, t3, 25
+	addi t3, t3, 97
+	add t5, s0, t0
+	sb t3, 0(t5)
+	addi t0, t0, 1
+	bge t0, t6, gendone
+	addi t4, t4, -1
+	bnez t4, word
+	add t5, s0, t0
+	li t3, 32
+	sb t3, 0(t5)
+	addi t0, t0, 1
+	blt t0, t6, gen
+gendone:
+	add t5, s0, t0
+	sb zero, 0(t5)   # terminator
+
+	# Hash every word, several passes (pointer walk).
+	li s1, 6         # passes
+	li s10, 0        # checksum
+	li s3, 32        # space (hoisted)
+	li s4, 5381      # hash seed (hoisted)
+pass:
+	mv t0, s0        # text pointer
+	mv t2, s4        # hash state
+hchar:
+	lbu t4, 0(t0)
+	beqz t4, passdone
+	beq t4, s3, wordend
+	slli t6, t2, 5
+	add t2, t6, t2
+	add t2, t2, t4   # h = h*33 + c
+	j hnext
+wordend:
+	add s10, s10, t2
+	mv t2, s4
+hnext:
+	addi t0, t0, 1
+	j hchar
+passdone:
+	add s10, s10, t2
+	addi s1, s1, -1
+	bnez s1, pass
+
+	li a7, 93
+	li a0, 0
+	ecall
+`,
+	})
+
+	register(Workload{
+		Name:     "omnetpp",
+		PaperRef: "620.omnetpp (event queue / binary heap)",
+		MaxInsts: 400_000,
+		Source: `
+	.data
+heap:
+	.zero 8192       # 512 events x 16 bytes (time, id), 1-based
+	.text
+_start:
+	la s0, heap
+	li s1, 0         # heap size
+	li s2, 271       # LCG
+	li s3, 1103515245
+	li s8, 3000      # events to schedule then drain
+	li s4, 12345     # LCG increment
+	li s9, 0         # processed counter
+	li s5, 0xfffff   # timestamp mask (hoisted)
+	li s6, 500       # capacity bound (hoisted)
+	li s7, 1         # root index (hoisted)
+
+	# Interleave inserts and pops like a discrete event loop: two inserts,
+	# one pop, until the budget is used; then drain.
+evloop:
+	beqz s8, drain
+	# Insert event with pseudo-random timestamp.
+	mul s2, s2, s3
+	add s2, s2, s4
+	srli t0, s2, 16
+	and t0, t0, s5   # timestamp
+	bge s1, s6, evpop # heap full: pop instead
+	addi s1, s1, 1
+	mv t3, s1        # hole index
+sift_up:
+	ble t3, s7, up_done
+	srli t5, t3, 1   # parent
+	slli t6, t5, 4
+	add t6, s0, t6
+	ld a1, 0(t6)     # parent time
+	bleu a1, t0, up_done
+	# Move the parent down (time and id are a contiguous pair).
+	slli a2, t3, 4
+	add a2, s0, a2
+	ld a3, 8(t6)
+	sd a1, 0(a2)
+	sd a3, 8(a2)
+	mv t3, t5
+	j sift_up
+up_done:
+	slli a2, t3, 4
+	add a2, s0, a2
+	sd t0, 0(a2)
+	sd s8, 8(a2)
+	addi s8, s8, -1
+	# Every other event, pop the minimum.
+	andi t4, s8, 1
+	bnez t4, evloop
+evpop:
+	beqz s1, evloop
+	# Pop the root; move the last element into the hole and sift down.
+	addi t3, s0, 16
+	ld a4, 8(t3)     # popped id
+	add s9, s9, a4
+	slli t4, s1, 4
+	add t4, s0, t4
+	ld t0, 0(t4)     # last time
+	ld t1, 8(t4)     # last id
+	addi s1, s1, -1
+	beqz s1, evloop
+	mv t3, s7        # hole = root
+sift_down:
+	slli t4, t3, 1   # left child
+	bgt t4, s1, down_done
+	slli t5, t4, 4
+	add t5, s0, t5
+	ld a1, 0(t5)     # left time
+	addi t6, t4, 1
+	bgt t6, s1, pickleft
+	slli a2, t6, 4
+	add a2, s0, a2
+	ld a3, 0(a2)     # right time
+	bgeu a3, a1, pickleft
+	mv t4, t6
+	mv a1, a3
+pickleft:
+	bleu t0, a1, down_done
+	# Move the child up.
+	slli a2, t4, 4
+	add a2, s0, a2
+	ld a3, 0(a2)
+	ld a4, 8(a2)
+	slli a5, t3, 4
+	add a5, s0, a5
+	sd a3, 0(a5)
+	sd a4, 8(a5)
+	mv t3, t4
+	j sift_down
+down_done:
+	slli a5, t3, 4
+	add a5, s0, a5
+	sd t0, 0(a5)
+	sd t1, 8(a5)
+	bnez s8, evloop
+drain:
+	bnez s1, evpop
+
+	li a7, 93
+	li a0, 0
+	ecall
+`,
+	})
+
+	register(Workload{
+		Name:     "typeset",
+		PaperRef: "MiBench typeset (box layout passes)",
+		MaxInsts: 350_000,
+		Source: `
+	.data
+boxes:
+	.zero 96000      # 2000 boxes x 48 bytes
+	.text
+_start:
+	la s0, boxes
+	li s1, 2000      # boxes
+	li s3, 48        # box stride (hoisted)
+	mul s4, s1, s3
+	add s4, s0, s4   # boxes end
+
+	# Initialise box fields (pointer walk): width, height, depth, glue,
+	# shift, flags.
+	li t1, 1234567
+	li t2, 22695477
+	mv t4, s0
+binit:
+	mul t1, t1, t2
+	addi t1, t1, 1
+	srli t5, t1, 40
+	sd t5, 0(t4)     # width
+	srli t5, t1, 30
+	andi t5, t5, 1023
+	sd t5, 8(t4)     # height
+	srli t5, t1, 20
+	andi t5, t5, 255
+	sd t5, 16(t4)    # depth
+	sd zero, 24(t4)  # glue
+	sd zero, 32(t4)  # shift
+	andi t5, t1, 3
+	sd t5, 40(t4)    # flags
+	add t4, t4, s3
+	bltu t4, s4, binit
+
+	# Layout passes: accumulate line widths, set glue and shift fields.
+	# The field loads pair within the line; the two field stores are
+	# separated by the shift computation (non-consecutive store pair).
+	li s2, 5         # passes
+	li s10, 0        # total width
+	li s5, 60000     # line break threshold (hoisted)
+lpass:
+	mv t4, s0        # box pointer
+	li s11, 0        # running line width
+box:
+	ld t5, 0(t4)     # width
+	ld t6, 8(t4)     # height (contiguous pair)
+	add s11, s11, t5
+	add s11, s11, t6
+	ld a1, 16(t4)    # depth
+	ld a2, 40(t4)    # flags (same line, non-contiguous)
+	sd s11, 24(t4)   # glue
+	add a3, a1, a2
+	slli a4, a3, 1
+	xor a3, a3, a4
+	sd a3, 32(t4)    # shift (pairs with glue across the computation)
+	bltu s11, s5, boxnext
+	add s10, s10, s11
+	li s11, 0
+boxnext:
+	add t4, t4, s3
+	bltu t4, s4, box
+	addi s2, s2, -1
+	bnez s2, lpass
+
+	li a7, 93
+	li a0, 0
+	ecall
+`,
+	})
+}

@@ -1,0 +1,112 @@
+// Package workloads provides the benchmark kernels used to evaluate the
+// simulator. SPEC CPU 2017 and MiBench binaries cannot be built offline,
+// so each paper workload is represented by a hand-written RV64 assembly
+// kernel chosen to exercise the same behavioural axis: pointer chasing
+// (605.mcf), match-copy store pressure (657.xz), table-lookup crypto
+// (rijndael), branchy integer code (602.gcc, 600.perlbench), event queues
+// (620.omnetpp), stencils (susan) and dense pair-able loads (basicmath,
+// fft, typeset). See DESIGN.md for the substitution rationale.
+package workloads
+
+import (
+	"fmt"
+	"sort"
+
+	"helios/internal/asm"
+	"helios/internal/emu"
+)
+
+// Workload is one benchmark kernel.
+type Workload struct {
+	Name     string
+	PaperRef string // the paper-suite workload it stands in for
+	Source   string // RV64 assembly
+	MaxInsts uint64 // dynamic instruction budget for experiments
+	// WantExit is the expected exit code; kernels self-check where
+	// feasible (0 = success).
+	WantExit int
+}
+
+// Program assembles the kernel.
+func (w Workload) Program() (*asm.Program, error) {
+	p, err := asm.Assemble(w.Source)
+	if err != nil {
+		return nil, fmt.Errorf("workload %s: %w", w.Name, err)
+	}
+	return p, nil
+}
+
+// NewMachine assembles and loads the kernel into a fresh emulator.
+func (w Workload) NewMachine() (*emu.Machine, error) {
+	p, err := w.Program()
+	if err != nil {
+		return nil, err
+	}
+	return emu.New(p), nil
+}
+
+// Stream returns a program-order retirement stream bounded by maxInsts
+// (0 means the workload's own budget).
+func (w Workload) Stream(maxInsts uint64) (func() (emu.Retired, bool), error) {
+	m, err := w.NewMachine()
+	if err != nil {
+		return nil, err
+	}
+	if maxInsts == 0 {
+		maxInsts = w.MaxInsts
+	}
+	n := uint64(0)
+	return func() (emu.Retired, bool) {
+		if m.Halted() || n >= maxInsts {
+			return emu.Retired{}, false
+		}
+		r, err := m.Step()
+		if err != nil {
+			return emu.Retired{}, false
+		}
+		n++
+		return r, true
+	}, nil
+}
+
+var registry = map[string]Workload{}
+
+func register(w Workload) {
+	if _, dup := registry[w.Name]; dup {
+		panic("duplicate workload " + w.Name)
+	}
+	if w.MaxInsts == 0 {
+		w.MaxInsts = 400_000
+	}
+	registry[w.Name] = w
+}
+
+// All returns every workload, sorted by name.
+func All() []Workload {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]Workload, len(names))
+	for i, n := range names {
+		out[i] = registry[n]
+	}
+	return out
+}
+
+// Names returns the sorted workload names.
+func Names() []string {
+	ws := All()
+	names := make([]string, len(ws))
+	for i, w := range ws {
+		names[i] = w.Name
+	}
+	return names
+}
+
+// ByName returns the named workload.
+func ByName(name string) (Workload, bool) {
+	w, ok := registry[name]
+	return w, ok
+}
