@@ -113,6 +113,40 @@ func BenchmarkFigure10(b *testing.B) {
 	}
 }
 
+// BenchmarkSuiteFig10 pins down the trace layer's speedup: the full
+// Figure 10 matrix (6 configurations per workload) with the suite's
+// record-once/replay-many path versus re-emulating the kernel for every
+// run, the way the pre-trace-layer code did. The ns/op gap between the
+// two sub-benches is the benefit of reusing the recording.
+func BenchmarkSuiteFig10(b *testing.B) {
+	names := []string{"crc32", "xz", "sha"}
+	b.Run("trace-reuse", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			h := experiments.New(benchBudget)
+			h.Workloads = names
+			if _, err := h.Figure10(); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(h.Suite.Metrics().TraceMisses), "emulations")
+		}
+	})
+	b.Run("no-reuse", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			emulations := 0
+			for _, name := range names {
+				w, _ := workloads.ByName(name)
+				for _, m := range fusion.Modes {
+					if _, err := core.Run(w, m, benchBudget); err != nil {
+						b.Fatal(err)
+					}
+					emulations++
+				}
+			}
+			b.ReportMetric(float64(emulations), "emulations")
+		}
+	})
+}
+
 // BenchmarkTable2 regenerates the machine configuration table.
 func BenchmarkTable2(b *testing.B) {
 	for i := 0; i < b.N; i++ {
@@ -223,15 +257,15 @@ func BenchmarkFP(b *testing.B) {
 func BenchmarkOracle(b *testing.B) {
 	o := fusion.NewOracle(fusion.DefaultPairConfig())
 	w, _ := workloads.ByName("typeset")
-	s, err := w.Stream(uint64(b.N))
+	s, err := w.Trace(uint64(b.N))
 	if err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		r, ok := s()
+		r, ok := s.Next()
 		if !ok {
-			s, _ = w.Stream(uint64(b.N))
+			s, _ = w.Trace(uint64(b.N))
 			continue
 		}
 		o.Observe(r)
@@ -243,15 +277,15 @@ var sinkRetired emu.Retired
 // BenchmarkDecode measures raw instruction decode throughput.
 func BenchmarkDecode(b *testing.B) {
 	w, _ := workloads.ByName("sha")
-	s, err := w.Stream(uint64(b.N))
+	s, err := w.Trace(uint64(b.N))
 	if err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		r, ok := s()
+		r, ok := s.Next()
 		if !ok {
-			s, _ = w.Stream(uint64(b.N))
+			s, _ = w.Trace(uint64(b.N))
 			continue
 		}
 		sinkRetired = r

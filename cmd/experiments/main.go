@@ -25,6 +25,7 @@ func main() {
 		insts    = flag.Uint64("insts", 0, "instruction budget per run (0 = workload defaults)")
 		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		worklist = flag.String("workloads", "", "comma-separated workload subset (default: all)")
+		metrics  = flag.Bool("metrics", false, "print record/replay trace-layer counters after the tables")
 	)
 	flag.Parse()
 
@@ -48,11 +49,17 @@ func main() {
 
 	if *id != "" {
 		emit(*id)
+		if *metrics {
+			fmt.Printf("%s\n", h.MetricsTable())
+		}
 		return
 	}
 	// Warm the cache in parallel before printing everything.
 	h.Suite.Prefetch(h.Workloads, fusion.Modes)
 	for _, idName := range experiments.IDs() {
 		emit(idName)
+	}
+	if *metrics {
+		fmt.Printf("%s\n", h.MetricsTable())
 	}
 }

@@ -4,6 +4,8 @@
 // Usage:
 //
 //	heliossim -workload xz -mode Helios [-insts 350000]
+//	heliossim -workload xz -trace-out xz.trace.gz   # record the stream
+//	heliossim -trace-in xz.trace.gz -compare        # replay it per config
 //	heliossim -list
 package main
 
@@ -15,7 +17,9 @@ import (
 
 	"helios/internal/core"
 	"helios/internal/fusion"
+	"helios/internal/ooo"
 	"helios/internal/stats"
+	"helios/internal/trace"
 	"helios/internal/workloads"
 )
 
@@ -26,6 +30,8 @@ func main() {
 		insts    = flag.Uint64("insts", 0, "instruction budget (0 = workload default)")
 		list     = flag.Bool("list", false, "list workloads and exit")
 		compare  = flag.Bool("compare", false, "run every fusion configuration and compare IPC")
+		traceOut = flag.String("trace-out", "", "record the committed stream to this file (gzip-framed binary)")
+		traceIn  = flag.String("trace-in", "", "simulate a previously recorded stream instead of emulating")
 	)
 	flag.Parse()
 
@@ -36,28 +42,86 @@ func main() {
 		return
 	}
 
-	w, ok := workloads.ByName(*workload)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown workload %q; try -list\n", *workload)
-		os.Exit(1)
+	// Phase one: obtain the committed stream — load it from a trace file,
+	// or record it once from the emulator when it will be reused (compare
+	// mode or -trace-out).
+	var (
+		rec  *trace.Recording
+		name string
+		w    workloads.Workload
+	)
+	if *traceIn != "" {
+		f, err := os.Open(*traceIn)
+		if err != nil {
+			fatal(err)
+		}
+		rec, err = trace.ReadFrom(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		name = rec.Name
+		fmt.Printf("loaded trace: %s (%d µ-ops, budget %d)\n\n", rec.Name, rec.Len(), rec.MaxInsts)
+	} else {
+		var ok bool
+		w, ok = workloads.ByName(*workload)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown workload %q; try -list\n", *workload)
+			os.Exit(1)
+		}
+		name = w.Name
+		if *compare || *traceOut != "" {
+			var err error
+			rec, err = w.Record(*insts)
+			if err != nil {
+				fatal(err)
+			}
+		}
 	}
 
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		n, err := rec.WriteTo(f)
+		if err == nil {
+			err = f.Close()
+		}
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s: %d µ-ops, %d bytes compressed\n\n", *traceOut, rec.Len(), n)
+	}
+
+	// Phase two: replay through the cycle-level model.
 	if *compare {
-		runCompare(w, *insts)
+		runCompare(name, rec)
 		return
 	}
-
 	m, ok := fusion.ModeByName(*mode)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "unknown mode %q; want one of %s\n", *mode, modeNames())
 		os.Exit(1)
 	}
-	r, err := core.Run(w, m, *insts)
+	var (
+		r   *core.Result
+		err error
+	)
+	if rec != nil {
+		r, err = core.RunSource(name, ooo.DefaultConfig(m), rec.Replay(), 0)
+	} else {
+		r, err = core.Run(w, m, *insts)
+	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fatal(err)
 	}
 	printResult(r)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
 }
 
 func modeNames() string {
@@ -68,15 +132,15 @@ func modeNames() string {
 	return strings.Join(names, ", ")
 }
 
-func runCompare(w workloads.Workload, insts uint64) {
-	t := stats.NewTable(fmt.Sprintf("%s: fusion configuration comparison", w.Name),
+// runCompare replays the one recording through every fusion configuration.
+func runCompare(name string, rec *trace.Recording) {
+	t := stats.NewTable(fmt.Sprintf("%s: fusion configuration comparison", name),
 		"config", "IPC", "vs NoFusion", "csf", "ncsf", "idioms", "mispredicts")
 	var base float64
 	for _, m := range fusion.Modes {
-		r, err := core.Run(w, m, insts)
+		r, err := core.RunSource(name, ooo.DefaultConfig(m), rec.Replay(), 0)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fatal(err)
 		}
 		s := r.Stats
 		if m == fusion.ModeNoFusion {

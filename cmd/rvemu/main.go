@@ -1,21 +1,27 @@
 // Command rvemu functionally executes an RV64 assembly program (no timing)
 // and reports its exit status, instruction count and output, like a tiny
-// Spike. It can also run a registered workload by name.
+// Spike. It can also run a registered workload by name, and capture the
+// committed µ-op stream to a trace file for later replay (heliossim
+// -trace-in).
 //
 // Usage:
 //
 //	rvemu program.s
 //	rvemu -workload dijkstra
 //	rvemu -max 1000000 program.s
+//	rvemu -workload xz -trace-out xz.trace.gz
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"strings"
 
 	"helios/internal/asm"
 	"helios/internal/emu"
+	"helios/internal/trace"
 	"helios/internal/workloads"
 )
 
@@ -23,9 +29,11 @@ func main() {
 	var (
 		workload = flag.String("workload", "", "run a registered workload instead of a file")
 		max      = flag.Uint64("max", 100_000_000, "instruction bound")
+		traceOut = flag.String("trace-out", "", "record the committed stream to this file")
 	)
 	flag.Parse()
 
+	name := *workload
 	var m *emu.Machine
 	switch {
 	case *workload != "":
@@ -52,16 +60,40 @@ func main() {
 			os.Exit(1)
 		}
 		m = emu.New(prog)
+		name = strings.TrimSuffix(filepath.Base(flag.Arg(0)), ".s")
 	default:
-		fmt.Fprintln(os.Stderr, "usage: rvemu [-max N] (<file.s> | -workload <name>)")
+		fmt.Fprintln(os.Stderr, "usage: rvemu [-max N] [-trace-out f] (<file.s> | -workload <name>)")
 		os.Exit(2)
 	}
 
-	n, err := m.Run(*max)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "after %d instructions: %v\n", n, err)
+	if *traceOut != "" {
+		// Recording IS the run: drain the live source, then dump it.
+		rec, err := trace.Record(trace.NewLive(m, *max))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		rec.Name = name
+		rec.MaxInsts = *max
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		written, err := rec.WriteTo(f)
+		if err == nil {
+			err = f.Close()
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s: %d µ-ops, %d bytes compressed\n", *traceOut, rec.Len(), written)
+	} else if _, err := m.Run(*max); err != nil {
+		fmt.Fprintf(os.Stderr, "after %d instructions: %v\n", m.InstretCount(), err)
 		os.Exit(1)
 	}
+	n := m.InstretCount()
 	if out := m.Output(); out != "" {
 		fmt.Print(out)
 	}

@@ -16,6 +16,7 @@ import (
 	"helios/internal/fusion"
 	"helios/internal/ooo"
 	"helios/internal/stats"
+	"helios/internal/trace"
 )
 
 // A blocked 64x64 matrix transpose: each block row copy is a run of loads
@@ -104,22 +105,17 @@ func main() {
 	}
 	fmt.Printf("%s: %d dynamic instructions, exit=%d\n\n", name, n, m.ExitCode())
 
+	// Record the committed stream once; every configuration replays it.
+	rec, err := trace.Record(trace.NewLive(emu.New(prog), 0))
+	if err != nil {
+		log.Fatalf("record: %v", err)
+	}
+
 	t := stats.NewTable("fusion comparison", "config", "IPC", "speedup",
 		"csf", "ncsf", "idioms", "accuracy")
 	var base float64
 	for _, mode := range fusion.Modes {
-		mm := emu.New(prog)
-		stream := func() (emu.Retired, bool) {
-			if mm.Halted() {
-				return emu.Retired{}, false
-			}
-			r, err := mm.Step()
-			if err != nil {
-				return emu.Retired{}, false
-			}
-			return r, true
-		}
-		p := ooo.New(ooo.DefaultConfig(mode), stream)
+		p := ooo.New(ooo.DefaultConfig(mode), rec.Replay())
 		st, err := p.Run()
 		if err != nil {
 			log.Fatal(err)

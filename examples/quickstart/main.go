@@ -13,6 +13,7 @@ import (
 	"helios/internal/emu"
 	"helios/internal/fusion"
 	"helios/internal/ooo"
+	"helios/internal/trace"
 )
 
 // A loop that sums an array of 16-byte records: the two field loads are
@@ -84,20 +85,15 @@ func main() {
 	}
 	fmt.Printf("functional run: %d instructions, exit=%d\n\n", n, m.ExitCode())
 
-	// 3. Simulate on the Icelake-like core under two fusion configs.
+	// 3. Record the committed stream once, then replay it on the
+	// Icelake-like core under two fusion configs (the stream is identical
+	// for every config, so one emulation feeds both runs).
+	rec, err := trace.Record(trace.NewLive(emu.New(prog), 0))
+	if err != nil {
+		log.Fatal(err)
+	}
 	run := func(mode fusion.Mode) *ooo.Stats {
-		machine := emu.New(prog)
-		stream := func() (emu.Retired, bool) {
-			if machine.Halted() {
-				return emu.Retired{}, false
-			}
-			r, err := machine.Step()
-			if err != nil {
-				return emu.Retired{}, false
-			}
-			return r, true
-		}
-		p := ooo.New(ooo.DefaultConfig(mode), stream)
+		p := ooo.New(ooo.DefaultConfig(mode), rec.Replay())
 		st, err := p.Run()
 		if err != nil {
 			log.Fatal(err)

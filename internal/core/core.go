@@ -2,6 +2,12 @@
 // emulator and the out-of-order pipeline together, runs the paper's six
 // fusion configurations, and caches results for the experiment drivers.
 //
+// Simulation is two-phase, mirroring the paper's methodology: the
+// functional emulator produces the committed-path stream once per
+// workload (a trace.Recording), and the cycle-level model replays it per
+// configuration. Suite performs the record-once/replay-many bookkeeping
+// and deduplicates concurrent requests for the same key.
+//
 // Typical use:
 //
 //	w, _ := workloads.ByName("crc32")
@@ -13,9 +19,11 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"helios/internal/fusion"
 	"helios/internal/ooo"
+	"helios/internal/trace"
 	"helios/internal/workloads"
 )
 
@@ -33,32 +41,62 @@ func Run(w workloads.Workload, mode fusion.Mode, maxInsts uint64) (*Result, erro
 	return RunConfig(w, cfg, maxInsts)
 }
 
-// RunConfig simulates with an explicit machine configuration.
+// RunConfig simulates with an explicit machine configuration, emulating
+// the workload live (single-run callers do not pay for a recording).
 func RunConfig(w workloads.Workload, cfg ooo.Config, maxInsts uint64) (*Result, error) {
 	if maxInsts == 0 {
 		maxInsts = w.MaxInsts
 	}
-	cfg.MaxUops = maxInsts
-	stream, err := w.Stream(0) // the pipeline bounds commits itself
+	src, err := w.Trace(maxInsts)
 	if err != nil {
 		return nil, err
 	}
-	p := ooo.New(cfg, stream)
+	return RunSource(w.Name, cfg, src, maxInsts)
+}
+
+// RunSource simulates an explicit committed-path source — typically a
+// trace.Recording replay cursor or a loaded trace file — under cfg.
+// maxInsts bounds committed instructions (0 = drain the source).
+func RunSource(name string, cfg ooo.Config, src trace.Source, maxInsts uint64) (*Result, error) {
+	cfg.MaxUops = maxInsts
+	p := ooo.New(cfg, src)
 	st, err := p.Run()
 	if err != nil {
-		return nil, fmt.Errorf("core: %s/%v: %w", w.Name, cfg.Mode, err)
+		return nil, fmt.Errorf("core: %s/%v: %w", name, cfg.Mode, err)
 	}
-	return &Result{Workload: w.Name, Mode: cfg.Mode, Stats: *st}, nil
+	return &Result{Workload: name, Mode: cfg.Mode, Stats: *st}, nil
+}
+
+// Metrics is a snapshot of the suite's record/replay observability
+// counters: how much functional emulation was spent versus how often its
+// product was reused, and where the wall time went.
+type Metrics struct {
+	TraceMisses  uint64 // recordings materialized (functional emulations)
+	TraceHits    uint64 // runs served from an already-cached recording
+	Replays      uint64 // replay cursors handed to the pipeline
+	PipelineRuns uint64 // cycle-level simulations performed
+	DedupedRuns  uint64 // Get calls that waited on an identical in-flight run
+
+	EmuTime time.Duration // wall time in functional emulation (recording)
+	SimTime time.Duration // wall time in cycle-level simulation
 }
 
 // Suite runs and caches simulations across workloads and modes, fanning
-// out across CPUs. The zero value is not usable; use NewSuite.
+// out across CPUs. Each workload is functionally emulated exactly once
+// per instruction budget; every mode replays the recording. The zero
+// value is not usable; use NewSuite.
 type Suite struct {
 	MaxInsts uint64 // per-run instruction budget (0 = workload default)
 
-	mu    sync.Mutex
-	cache map[suiteKey]*Result
-	errs  map[suiteKey]error
+	mu        sync.Mutex
+	cache     map[suiteKey]*Result
+	errs      map[suiteKey]error
+	resFlight map[suiteKey]chan struct{}
+
+	traces      map[traceKey]*traceEntry
+	traceFlight map[traceKey]chan struct{}
+
+	metrics Metrics
 }
 
 type suiteKey struct {
@@ -66,35 +104,145 @@ type suiteKey struct {
 	mode     fusion.Mode
 }
 
+type traceKey struct {
+	workload string
+	maxInsts uint64
+}
+
+type traceEntry struct {
+	rec *trace.Recording
+	err error
+}
+
 // NewSuite creates a result cache with the given per-run budget.
 func NewSuite(maxInsts uint64) *Suite {
 	return &Suite{
-		MaxInsts: maxInsts,
-		cache:    make(map[suiteKey]*Result),
-		errs:     make(map[suiteKey]error),
+		MaxInsts:    maxInsts,
+		cache:       make(map[suiteKey]*Result),
+		errs:        make(map[suiteKey]error),
+		resFlight:   make(map[suiteKey]chan struct{}),
+		traces:      make(map[traceKey]*traceEntry),
+		traceFlight: make(map[traceKey]chan struct{}),
 	}
 }
 
-// Get returns the (cached) result for one workload/mode pair.
-func (s *Suite) Get(name string, mode fusion.Mode) (*Result, error) {
+// Metrics returns a snapshot of the record/replay counters.
+func (s *Suite) Metrics() Metrics {
 	s.mu.Lock()
-	if r, ok := s.cache[suiteKey{name, mode}]; ok {
-		err := s.errs[suiteKey{name, mode}]
-		s.mu.Unlock()
-		return r, err
+	defer s.mu.Unlock()
+	return s.metrics
+}
+
+// budget returns the effective per-run instruction bound for w.
+func (s *Suite) budget(w workloads.Workload) uint64 {
+	if s.MaxInsts != 0 {
+		return s.MaxInsts
 	}
+	return w.MaxInsts
+}
+
+// Get returns the (cached) result for one workload/mode pair. Concurrent
+// calls for the same uncached key share a single simulation.
+func (s *Suite) Get(name string, mode fusion.Mode) (*Result, error) {
+	key := suiteKey{name, mode}
+	s.mu.Lock()
+	for {
+		if r, ok := s.cache[key]; ok {
+			err := s.errs[key]
+			s.mu.Unlock()
+			return r, err
+		}
+		ch, inflight := s.resFlight[key]
+		if !inflight {
+			break
+		}
+		s.metrics.DedupedRuns++
+		s.mu.Unlock()
+		<-ch
+		s.mu.Lock()
+	}
+	ch := make(chan struct{})
+	s.resFlight[key] = ch
 	s.mu.Unlock()
 
+	r, err := s.run(name, mode)
+
+	s.mu.Lock()
+	s.cache[key] = r
+	s.errs[key] = err
+	delete(s.resFlight, key)
+	s.mu.Unlock()
+	close(ch)
+	return r, err
+}
+
+// run performs one uncached simulation: fetch (or make) the workload's
+// recording, then replay it through the pipeline under the given mode.
+func (s *Suite) run(name string, mode fusion.Mode) (*Result, error) {
 	w, ok := workloads.ByName(name)
 	if !ok {
 		return nil, fmt.Errorf("core: unknown workload %q", name)
 	}
-	r, err := Run(w, mode, s.MaxInsts)
+	budget := s.budget(w)
+	rec, err := s.recording(w, budget)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	r, runErr := RunSource(name, ooo.DefaultConfig(mode), rec.Replay(), budget)
 	s.mu.Lock()
-	s.cache[suiteKey{name, mode}] = r
-	s.errs[suiteKey{name, mode}] = err
+	s.metrics.Replays++
+	s.metrics.PipelineRuns++
+	s.metrics.SimTime += time.Since(start)
 	s.mu.Unlock()
-	return r, err
+	return r, runErr
+}
+
+// Recording returns the workload's committed stream at the suite's
+// budget, materializing it on first use (experiment drivers replay it for
+// trace analyses without re-emulating).
+func (s *Suite) Recording(name string) (*trace.Recording, error) {
+	w, ok := workloads.ByName(name)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown workload %q", name)
+	}
+	return s.recording(w, s.budget(w))
+}
+
+// recording is the record-once half: per (workload, budget) key, the
+// first caller emulates and everyone else waits for or reuses the buffer.
+func (s *Suite) recording(w workloads.Workload, budget uint64) (*trace.Recording, error) {
+	key := traceKey{w.Name, budget}
+	s.mu.Lock()
+	for {
+		if e, ok := s.traces[key]; ok {
+			s.metrics.TraceHits++
+			s.mu.Unlock()
+			return e.rec, e.err
+		}
+		ch, inflight := s.traceFlight[key]
+		if !inflight {
+			break
+		}
+		s.mu.Unlock()
+		<-ch
+		s.mu.Lock()
+	}
+	ch := make(chan struct{})
+	s.traceFlight[key] = ch
+	s.metrics.TraceMisses++
+	s.mu.Unlock()
+
+	start := time.Now()
+	rec, err := w.Record(budget)
+
+	s.mu.Lock()
+	s.traces[key] = &traceEntry{rec: rec, err: err}
+	s.metrics.EmuTime += time.Since(start)
+	delete(s.traceFlight, key)
+	s.mu.Unlock()
+	close(ch)
+	return rec, err
 }
 
 // Prefetch runs every workload under each mode in parallel, filling the

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sync"
 	"sync/atomic"
 	"testing"
 
@@ -65,6 +66,68 @@ func TestPrefetchFillsCache(t *testing.T) {
 	}
 	if hits != 4 {
 		t.Errorf("cached results = %d, want 4", hits)
+	}
+}
+
+// TestSuiteSingleflight hammers one (workload, mode) key from many
+// goroutines: exactly one pipeline run and one functional emulation must
+// happen, every caller must see the same result pointer, and the rest
+// must be accounted as deduplicated. Run under -race this also checks the
+// cache/flight locking.
+func TestSuiteSingleflight(t *testing.T) {
+	const callers = 8
+	s := NewSuite(20_000)
+	var wg sync.WaitGroup
+	results := make([]*Result, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r, err := s.Get("crc32", fusion.ModeNoFusion)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = r
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < callers; i++ {
+		if results[i] != results[0] {
+			t.Fatalf("caller %d got a different result pointer", i)
+		}
+	}
+	m := s.Metrics()
+	if m.PipelineRuns != 1 {
+		t.Errorf("PipelineRuns = %d, want 1", m.PipelineRuns)
+	}
+	if m.TraceMisses != 1 {
+		t.Errorf("TraceMisses = %d, want 1", m.TraceMisses)
+	}
+	if m.TraceHits != 0 {
+		t.Errorf("TraceHits = %d, want 0", m.TraceHits)
+	}
+}
+
+// TestSuiteTraceReuseAcrossModes: a second fusion mode on the same
+// workload must replay the recorded trace, not re-emulate.
+func TestSuiteTraceReuseAcrossModes(t *testing.T) {
+	s := NewSuite(15_000)
+	if _, err := s.Get("sha", fusion.ModeNoFusion); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get("sha", fusion.ModeHelios); err != nil {
+		t.Fatal(err)
+	}
+	m := s.Metrics()
+	if m.TraceMisses != 1 || m.TraceHits != 1 {
+		t.Errorf("trace cache: misses=%d hits=%d, want 1/1", m.TraceMisses, m.TraceHits)
+	}
+	if m.Replays != 2 || m.PipelineRuns != 2 {
+		t.Errorf("replays=%d runs=%d, want 2/2", m.Replays, m.PipelineRuns)
+	}
+	if m.EmuTime <= 0 || m.SimTime <= 0 {
+		t.Errorf("wall-time counters not populated: emu=%v sim=%v", m.EmuTime, m.SimTime)
 	}
 }
 

@@ -8,6 +8,7 @@ package experiments
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"helios/internal/core"
 	"helios/internal/fusion"
@@ -123,17 +124,13 @@ func (h *Harness) Figure3() (*stats.Table, error) {
 }
 
 // analyzeTrace runs the oracle pair analysis over a workload's committed
-// stream.
+// stream, replaying the suite's shared recording rather than re-emulating.
 func (h *Harness) analyzeTrace(name string, cfg fusion.PairConfig) (fusion.TraceStats, error) {
-	w, ok := workloads.ByName(name)
-	if !ok {
-		return fusion.TraceStats{}, fmt.Errorf("experiments: unknown workload %q", name)
-	}
-	s, err := w.Stream(h.Suite.MaxInsts)
+	rec, err := h.Suite.Recording(name)
 	if err != nil {
 		return fusion.TraceStats{}, err
 	}
-	return fusion.AnalyzeTrace(s, cfg), nil
+	return fusion.AnalyzeTrace(rec.Replay(), cfg)
 }
 
 // Figure4 classifies consecutive memory pairs by address relationship:
@@ -383,6 +380,22 @@ func (h *Harness) TableCost() (*stats.Table, error) {
 		t.AddRow(it.name, fmt.Sprint(it.bits))
 	}
 	return t, nil
+}
+
+// MetricsTable reports the suite's record-once/replay-many observability
+// counters: functional emulations performed vs replays served from the
+// trace cache, and where the wall time went.
+func (h *Harness) MetricsTable() *stats.Table {
+	m := h.Suite.Metrics()
+	t := stats.NewTable("Trace layer: record-once/replay-many counters", "counter", "value")
+	t.AddRow("functional emulations (trace misses)", fmt.Sprint(m.TraceMisses))
+	t.AddRow("trace cache hits", fmt.Sprint(m.TraceHits))
+	t.AddRow("replays", fmt.Sprint(m.Replays))
+	t.AddRow("pipeline runs", fmt.Sprint(m.PipelineRuns))
+	t.AddRow("deduplicated concurrent runs", fmt.Sprint(m.DedupedRuns))
+	t.AddRow("emulation wall time", m.EmuTime.Round(time.Millisecond).String())
+	t.AddRow("pipeline wall time", m.SimTime.Round(time.Millisecond).String())
+	return t
 }
 
 // RunAll executes every experiment and returns the tables keyed by id.

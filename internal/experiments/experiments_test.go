@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"helios/internal/fusion"
 	"helios/internal/workloads"
 )
 
@@ -177,6 +178,35 @@ func TestRunAllSubset(t *testing.T) {
 	ids := SortedIDs(tables)
 	if ids[0] != "fig2" {
 		t.Errorf("sorted ids = %v", ids)
+	}
+}
+
+// TestFigure10RecordsOncePerWorkload is the acceptance check for the
+// record-once/replay-many trace layer: a full Figure 10 sweep performs
+// exactly one functional emulation per workload, and every other
+// configuration replays the recorded trace.
+func TestFigure10RecordsOncePerWorkload(t *testing.T) {
+	h := New(15_000)
+	h.Workloads = []string{"crc32", "sha", "xz"}
+	if _, err := h.Figure10(); err != nil {
+		t.Fatal(err)
+	}
+	m := h.Suite.Metrics()
+	n := uint64(len(h.Workloads))
+	modes := uint64(len(fusion.Modes))
+	if m.TraceMisses != n {
+		t.Errorf("functional emulations = %d, want exactly %d (one per workload)", m.TraceMisses, n)
+	}
+	if m.TraceHits != n*(modes-1) {
+		t.Errorf("trace cache hits = %d, want %d", m.TraceHits, n*(modes-1))
+	}
+	if m.PipelineRuns != n*modes {
+		t.Errorf("pipeline runs = %d, want %d", m.PipelineRuns, n*modes)
+	}
+
+	tbl := h.MetricsTable()
+	if tbl.NumRows() == 0 {
+		t.Error("metrics table is empty")
 	}
 }
 

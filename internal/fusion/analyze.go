@@ -1,6 +1,9 @@
 package fusion
 
-import "helios/internal/emu"
+import (
+	"helios/internal/emu"
+	"helios/internal/trace"
+)
 
 // TraceStats tabulates the fusion potential of a committed instruction
 // stream. It backs the motivation figures: Figure 2 (memory vs other
@@ -45,8 +48,9 @@ func (s *TraceStats) MeanDistance() float64 {
 }
 
 // AnalyzeTrace scans a committed stream and computes fusion potential.
-// The stream function returns records in program order until ok is false.
-func AnalyzeTrace(next func() (emu.Retired, bool), cfg PairConfig) TraceStats {
+// The source yields records in program order; if it ends on an emulation
+// fault, the error is returned alongside the stats gathered so far.
+func AnalyzeTrace(src trace.Source, cfg PairConfig) (TraceStats, error) {
 	var st TraceStats
 	oracle := NewOracle(cfg)
 
@@ -55,7 +59,7 @@ func AnalyzeTrace(next func() (emu.Retired, bool), cfg PairConfig) TraceStats {
 	var recent []emu.Retired // for catalyst hazard inspection
 
 	for {
-		r, ok := next()
+		r, ok := src.Next()
 		if !ok {
 			break
 		}
@@ -119,7 +123,7 @@ func AnalyzeTrace(next func() (emu.Retired, bool), cfg PairConfig) TraceStats {
 			}
 		}
 	}
-	return st
+	return st, src.Err()
 }
 
 // spanFor extracts the head..tail slice from the recent window.

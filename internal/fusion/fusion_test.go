@@ -5,6 +5,7 @@ import (
 
 	"helios/internal/emu"
 	"helios/internal/isa"
+	"helios/internal/trace"
 	"helios/internal/uop"
 )
 
@@ -412,15 +413,10 @@ func TestAnalyzeTrace(t *testing.T) {
 	// the first pair too.
 	recs[0].Inst.Imm = 0
 	recs[1].Inst.Imm = 8
-	i := 0
-	st := AnalyzeTrace(func() (emu.Retired, bool) {
-		if i >= len(recs) {
-			return emu.Retired{}, false
-		}
-		r := recs[i]
-		i++
-		return r, true
-	}, DefaultPairConfig())
+	st, err := AnalyzeTrace(trace.FromRecords("synthetic", 0, recs).Replay(), DefaultPairConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	if st.TotalUops != 7 || st.MemUops != 5 {
 		t.Errorf("totals = %d/%d", st.TotalUops, st.MemUops)

@@ -9,6 +9,7 @@ import (
 	"helios/internal/asm"
 	"helios/internal/emu"
 	"helios/internal/fusion"
+	"helios/internal/trace"
 )
 
 // genProgram builds a random but always-terminating RISC-V program: a
@@ -118,18 +119,7 @@ func TestFuzzAllModesAgree(t *testing.T) {
 			}
 
 			for _, mode := range fusion.Modes {
-				m := emu.New(prog)
-				stream := func() (emu.Retired, bool) {
-					if m.Halted() {
-						return emu.Retired{}, false
-					}
-					rec, err := m.Step()
-					if err != nil {
-						return emu.Retired{}, false
-					}
-					return rec, true
-				}
-				p := New(DefaultConfig(mode), stream)
+				p := New(DefaultConfig(mode), trace.NewLive(emu.New(prog), 0))
 				st, err := p.RunChecked(64)
 				if err != nil {
 					t.Fatalf("mode %v: %v", mode, err)
@@ -171,18 +161,7 @@ func TestFuzzSmallMachines(t *testing.T) {
 		} {
 			cfg := DefaultConfig(mode)
 			shrink.mut(&cfg)
-			m := emu.New(prog)
-			stream := func() (emu.Retired, bool) {
-				if m.Halted() {
-					return emu.Retired{}, false
-				}
-				rec, err := m.Step()
-				if err != nil {
-					return emu.Retired{}, false
-				}
-				return rec, true
-			}
-			p := New(cfg, stream)
+			p := New(cfg, trace.NewLive(emu.New(prog), 0))
 			st, err := p.RunChecked(16)
 			if err != nil {
 				t.Fatalf("%v/%s: %v", mode, shrink.name, err)

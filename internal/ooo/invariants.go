@@ -144,5 +144,8 @@ func (p *Pipeline) RunChecked(interval uint64) (*Stats, error) {
 				p.cycle, p.describeROBHead())
 		}
 	}
+	if p.streamErr != nil {
+		return &p.st, fmt.Errorf("ooo: %w", p.streamErr)
+	}
 	return &p.st, nil
 }

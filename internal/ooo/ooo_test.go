@@ -1,32 +1,61 @@
 package ooo
 
 import (
+	"errors"
+	"strings"
 	"testing"
 
 	"helios/internal/asm"
 	"helios/internal/emu"
 	"helios/internal/fusion"
+	"helios/internal/trace"
 )
 
-// streamFor assembles a program and returns a Stream over its execution.
-func streamFor(t *testing.T, src string, maxInsts uint64) Stream {
+// streamFor assembles a program and returns a live trace.Source over its
+// execution (emulation faults surface through Source.Err into Run).
+func streamFor(t *testing.T, src string, maxInsts uint64) trace.Source {
 	t.Helper()
 	prog, err := asm.Assemble(src)
 	if err != nil {
 		t.Fatalf("assemble: %v", err)
 	}
-	m := emu.New(prog)
-	n := uint64(0)
-	return func() (emu.Retired, bool) {
-		if m.Halted() || n >= maxInsts {
-			return emu.Retired{}, false
-		}
-		n++
-		r, err := m.Step()
-		if err != nil {
-			t.Fatalf("emulate: %v", err)
-		}
-		return r, true
+	return trace.NewLive(emu.New(prog), maxInsts)
+}
+
+// faultingSource yields records from an inner source, then reports a
+// stream error — the shape of an emulator fault mid-run.
+type faultingSource struct {
+	inner trace.Source
+	left  int
+	err   error
+}
+
+func (s *faultingSource) Next() (emu.Retired, bool) {
+	if s.left == 0 {
+		return emu.Retired{}, false
+	}
+	s.left--
+	return s.inner.Next()
+}
+
+func (s *faultingSource) Err() error { return s.err }
+
+// TestRunSurfacesStreamError verifies the pipeline drains and then fails
+// loudly when the committed stream ends on an emulation fault, instead of
+// silently truncating the run.
+func TestRunSurfacesStreamError(t *testing.T) {
+	src := &faultingSource{
+		inner: streamFor(t, loopSum, 1000),
+		left:  50,
+		err:   errors.New("synthetic emulation fault"),
+	}
+	p := New(DefaultConfig(fusion.ModeNoFusion), src)
+	st, err := p.Run()
+	if err == nil || !strings.Contains(err.Error(), "synthetic emulation fault") {
+		t.Fatalf("Run error = %v, want the stream fault", err)
+	}
+	if st.CommittedInsts == 0 {
+		t.Error("the drained prefix should still have committed")
 	}
 }
 

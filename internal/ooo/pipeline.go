@@ -9,20 +9,19 @@ import (
 	"helios/internal/fusion"
 	"helios/internal/helios"
 	"helios/internal/memdep"
+	"helios/internal/trace"
 )
-
-// Stream supplies the committed-path dynamic instruction stream in program
-// order. It is typically (*emu.Machine).Step wrapped to stop at a bound.
-type Stream func() (emu.Retired, bool)
 
 // Pipeline is the cycle-level core model.
 type Pipeline struct {
 	cfg Config
 	mem *cache.Hierarchy
 
-	// Instruction supply.
-	stream     Stream
+	// Instruction supply: the committed-path stream in program order,
+	// either a live emulator or a recorded trace replay cursor.
+	src        trace.Source
 	streamDone bool
+	streamErr  error         // emulation fault that ended the stream
 	window     []emu.Retired // fetched records not yet committed
 	windowBase uint64        // seq of window[0]
 	nextFetch  uint64        // next seq to decode
@@ -81,13 +80,13 @@ type Pipeline struct {
 	st    Stats
 }
 
-// New builds a pipeline over the given stream.
-func New(cfg Config, stream Stream) *Pipeline {
+// New builds a pipeline over the given committed-path source.
+func New(cfg Config, src trace.Source) *Pipeline {
 	cfg.validate()
 	p := &Pipeline{
 		cfg:          cfg,
 		mem:          cache.New(cfg.Cache),
-		stream:       stream,
+		src:          src,
 		tage:         branch.NewTAGE(11),
 		btb:          branch.NewBTB(1024, 4),
 		ras:          branch.NewRAS(64),
@@ -162,6 +161,9 @@ func (p *Pipeline) Run() (*Stats, error) {
 				p.cycle, p.rob.len(), p.aq.len(), len(p.iq), len(p.lq), len(p.sq), p.describeROBHead())
 		}
 	}
+	if p.streamErr != nil {
+		return &p.st, fmt.Errorf("ooo: %w", p.streamErr)
+	}
 	return &p.st, nil
 }
 
@@ -195,12 +197,14 @@ func (p *Pipeline) span(from, to uint64) []emu.Retired {
 }
 
 // fetchRecord pulls the record for seq into the window, reading from the
-// stream as needed. Returns nil when the stream is exhausted first.
+// source as needed. Returns nil when the stream is exhausted first; if it
+// ended on an emulation fault, the fault is latched for Run to surface.
 func (p *Pipeline) fetchRecord(seq uint64) *emu.Retired {
 	for uint64(len(p.window))+p.windowBase <= seq && !p.streamDone {
-		r, ok := p.stream()
+		r, ok := p.src.Next()
 		if !ok {
 			p.streamDone = true
+			p.streamErr = p.src.Err()
 			break
 		}
 		if len(p.window) == 0 {

@@ -1,0 +1,101 @@
+// Package trace materializes the committed-path dynamic µ-op stream.
+//
+// The paper's methodology is two-phase: the functional simulator (Spike
+// there, internal/emu here) produces the committed dynamic stream once,
+// and the cycle-level model consumes it per configuration. Because fusion
+// never changes architectural results, the stream is identical for every
+// configuration (DESIGN.md §7), so it can be recorded once and replayed
+// many times — the same decoupling ChampSim-style trace-driven simulators
+// use. This package provides the seam: a Source interface over the
+// stream, a live emulator-backed implementation, a Recording that buffers
+// the stream once and hands out O(1) replay cursors, and a versioned
+// binary file format so expensive streams can be captured and re-run
+// across processes.
+package trace
+
+import (
+	"fmt"
+
+	"helios/internal/emu"
+)
+
+// Source supplies the committed-path dynamic instruction stream in
+// program order. Next returns the next retired record until the stream is
+// exhausted; Err reports whether the stream ended because of an emulation
+// fault rather than a clean halt or bound, so consumers can fail loudly
+// instead of silently truncating the run.
+type Source interface {
+	Next() (emu.Retired, bool)
+	Err() error
+}
+
+// Live is an emulator-backed Source: each Next executes one instruction
+// on the underlying machine. A step fault ends the stream and is surfaced
+// via Err.
+type Live struct {
+	m     *emu.Machine
+	limit uint64 // 0 = unbounded (run until the machine halts)
+	n     uint64
+	err   error
+}
+
+// NewLive returns a Source over the machine's execution, bounded by
+// maxInsts retired instructions (0 = run until the program halts).
+func NewLive(m *emu.Machine, maxInsts uint64) *Live {
+	return &Live{m: m, limit: maxInsts}
+}
+
+// Next executes and returns the next instruction.
+func (s *Live) Next() (emu.Retired, bool) {
+	if s.err != nil || s.m.Halted() || (s.limit > 0 && s.n >= s.limit) {
+		return emu.Retired{}, false
+	}
+	r, err := s.m.Step()
+	if err != nil {
+		s.err = fmt.Errorf("trace: emulation fault after %d µ-ops: %w", s.n, err)
+		return emu.Retired{}, false
+	}
+	s.n++
+	return r, true
+}
+
+// Err reports the emulation fault that ended the stream, if any.
+func (s *Live) Err() error { return s.err }
+
+// funcSource adapts a bare stream closure (which cannot fault) to Source.
+type funcSource struct {
+	fn func() (emu.Retired, bool)
+}
+
+func (s funcSource) Next() (emu.Retired, bool) { return s.fn() }
+func (s funcSource) Err() error                { return nil }
+
+// Func wraps a plain stream closure as an error-free Source. It exists
+// for synthetic streams (tests, generators); emulator-backed streams
+// should use Live so faults propagate.
+func Func(fn func() (emu.Retired, bool)) Source { return funcSource{fn} }
+
+// limited bounds an inner Source to a fixed number of records.
+type limited struct {
+	src Source
+	n   uint64
+}
+
+func (l *limited) Next() (emu.Retired, bool) {
+	if l.n == 0 {
+		return emu.Retired{}, false
+	}
+	l.n--
+	return l.src.Next()
+}
+
+func (l *limited) Err() error { return l.src.Err() }
+
+// Limit returns a Source that yields at most maxInsts records from src
+// (0 = no additional bound).
+func Limit(src Source, maxInsts uint64) Source {
+	if maxInsts == 0 {
+		return src
+	}
+	return &limited{src: src, n: maxInsts}
+}

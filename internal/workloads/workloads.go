@@ -14,6 +14,7 @@ import (
 
 	"helios/internal/asm"
 	"helios/internal/emu"
+	"helios/internal/trace"
 )
 
 // Workload is one benchmark kernel.
@@ -45,9 +46,10 @@ func (w Workload) NewMachine() (*emu.Machine, error) {
 	return emu.New(p), nil
 }
 
-// Stream returns a program-order retirement stream bounded by maxInsts
-// (0 means the workload's own budget).
-func (w Workload) Stream(maxInsts uint64) (func() (emu.Retired, bool), error) {
+// Trace returns a live program-order retirement source bounded by
+// maxInsts (0 means the workload's own budget). Emulation faults surface
+// through the source's Err, never as a silently truncated stream.
+func (w Workload) Trace(maxInsts uint64) (trace.Source, error) {
 	m, err := w.NewMachine()
 	if err != nil {
 		return nil, err
@@ -55,18 +57,26 @@ func (w Workload) Stream(maxInsts uint64) (func() (emu.Retired, bool), error) {
 	if maxInsts == 0 {
 		maxInsts = w.MaxInsts
 	}
-	n := uint64(0)
-	return func() (emu.Retired, bool) {
-		if m.Halted() || n >= maxInsts {
-			return emu.Retired{}, false
-		}
-		r, err := m.Step()
-		if err != nil {
-			return emu.Retired{}, false
-		}
-		n++
-		return r, true
-	}, nil
+	return trace.NewLive(m, maxInsts), nil
+}
+
+// Record emulates the kernel once and materializes its committed stream
+// for replay-many use (0 means the workload's own budget).
+func (w Workload) Record(maxInsts uint64) (*trace.Recording, error) {
+	if maxInsts == 0 {
+		maxInsts = w.MaxInsts
+	}
+	src, err := w.Trace(maxInsts)
+	if err != nil {
+		return nil, err
+	}
+	rec, err := trace.Record(src)
+	if err != nil {
+		return nil, fmt.Errorf("workload %s: %w", w.Name, err)
+	}
+	rec.Name = w.Name
+	rec.MaxInsts = maxInsts
+	return rec, nil
 }
 
 var registry = map[string]Workload{}

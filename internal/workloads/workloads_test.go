@@ -64,17 +64,17 @@ func TestWorkloadsAreDeterministic(t *testing.T) {
 	for _, w := range All() {
 		w := w
 		t.Run(w.Name, func(t *testing.T) {
-			s1, err := w.Stream(20_000)
+			s1, err := w.Trace(20_000)
 			if err != nil {
 				t.Fatal(err)
 			}
-			s2, err := w.Stream(20_000)
+			s2, err := w.Trace(20_000)
 			if err != nil {
 				t.Fatal(err)
 			}
 			for i := 0; ; i++ {
-				r1, ok1 := s1()
-				r2, ok2 := s2()
+				r1, ok1 := s1.Next()
+				r2, ok2 := s2.Next()
 				if ok1 != ok2 {
 					t.Fatalf("streams diverge in length at %d", i)
 				}
@@ -84,6 +84,9 @@ func TestWorkloadsAreDeterministic(t *testing.T) {
 				if r1 != r2 {
 					t.Fatalf("streams diverge at %d: %+v vs %+v", i, r1, r2)
 				}
+			}
+			if err := s1.Err(); err != nil {
+				t.Fatal(err)
 			}
 		})
 	}
@@ -95,13 +98,13 @@ func TestWorkloadsTouchMemory(t *testing.T) {
 	for _, w := range All() {
 		w := w
 		t.Run(w.Name, func(t *testing.T) {
-			s, err := w.Stream(0) // full budget: past any init-fill phase
+			s, err := w.Trace(0) // full budget: past any init-fill phase
 			if err != nil {
 				t.Fatal(err)
 			}
 			var loads, stores, total int
 			for {
-				r, ok := s()
+				r, ok := s.Next()
 				if !ok {
 					break
 				}
@@ -125,21 +128,24 @@ func TestWorkloadsTouchMemory(t *testing.T) {
 	}
 }
 
-func TestStreamBound(t *testing.T) {
+func TestTraceBound(t *testing.T) {
 	w, _ := ByName("crc32")
-	s, err := w.Stream(100)
+	s, err := w.Trace(100)
 	if err != nil {
 		t.Fatal(err)
 	}
 	n := 0
 	for {
-		if _, ok := s(); !ok {
+		if _, ok := s.Next(); !ok {
 			break
 		}
 		n++
 	}
 	if n != 100 {
 		t.Errorf("stream yielded %d records, want 100", n)
+	}
+	if rec, err := w.Record(100); err != nil || rec.Len() != 100 {
+		t.Errorf("Record = %d records, err %v; want 100", rec.Len(), err)
 	}
 }
 
@@ -173,15 +179,15 @@ var sinkRetired emu.Retired
 
 func BenchmarkEmulation(b *testing.B) {
 	w, _ := ByName("crc32")
-	s, err := w.Stream(uint64(b.N))
+	s, err := w.Trace(uint64(b.N))
 	if err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		r, ok := s()
+		r, ok := s.Next()
 		if !ok {
-			s, _ = w.Stream(uint64(b.N))
+			s, _ = w.Trace(uint64(b.N))
 			continue
 		}
 		sinkRetired = r
