@@ -8,6 +8,8 @@
 package helios_test
 
 import (
+	"context"
+
 	"strconv"
 	"strings"
 	"testing"
@@ -32,7 +34,7 @@ func newHarness() *experiments.Harness {
 // table's last row.
 func lastCell(b *testing.B, h *experiments.Harness, id string, col int) float64 {
 	b.Helper()
-	tbl, err := h.Run(id)
+	tbl, err := h.Run(context.Background(), id)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -95,7 +97,7 @@ func BenchmarkFigure8(b *testing.B) {
 func BenchmarkFigure9(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		h := newHarness()
-		tbl, err := h.Run("fig9")
+		tbl, err := h.Run(context.Background(), "fig9")
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -124,7 +126,7 @@ func BenchmarkSuiteFig10(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			h := experiments.New(benchBudget)
 			h.Workloads = names
-			if _, err := h.Figure10(); err != nil {
+			if _, err := h.Figure10(context.Background()); err != nil {
 				b.Fatal(err)
 			}
 			b.ReportMetric(float64(h.Suite.Metrics().TraceMisses), "emulations")
@@ -136,7 +138,7 @@ func BenchmarkSuiteFig10(b *testing.B) {
 			for _, name := range names {
 				w, _ := workloads.ByName(name)
 				for _, m := range fusion.Modes {
-					if _, err := core.Run(w, m, benchBudget); err != nil {
+					if _, err := core.Run(context.Background(), w, m, benchBudget); err != nil {
 						b.Fatal(err)
 					}
 					emulations++
@@ -151,7 +153,7 @@ func BenchmarkSuiteFig10(b *testing.B) {
 func BenchmarkTable2(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		h := newHarness()
-		tbl, err := h.Run("table2")
+		tbl, err := h.Run(context.Background(), "table2")
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -219,7 +221,7 @@ func benchPipeline(b *testing.B, mode fusion.Mode) {
 	b.ResetTimer()
 	done := uint64(0)
 	for done < uint64(b.N) {
-		r, err := core.Run(w, mode, min64(uint64(b.N)-done, w.MaxInsts))
+		r, err := core.Run(context.Background(), w, mode, min64(uint64(b.N)-done, w.MaxInsts))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -300,7 +302,7 @@ func BenchmarkConfigSweep(b *testing.B) {
 		for _, m := range fusion.Modes {
 			cfg := ooo.DefaultConfig(m)
 			cfg.MaxUops = 10_000
-			if _, err := core.RunConfig(w, cfg, 10_000); err != nil {
+			if _, err := core.RunConfig(context.Background(), w, cfg, 10_000); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -318,7 +320,7 @@ func BenchmarkAblationNesting(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				cfg := ooo.DefaultConfig(fusion.ModeHelios)
 				cfg.MaxNCSFNest = nest
-				r, err := core.RunConfig(w, cfg, benchBudget)
+				r, err := core.RunConfig(context.Background(), w, cfg, benchBudget)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -338,7 +340,7 @@ func BenchmarkAblationDistance(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				cfg := ooo.DefaultConfig(fusion.ModeHelios)
 				cfg.PairCfg.MaxDist = dist
-				r, err := core.RunConfig(w, cfg, benchBudget)
+				r, err := core.RunConfig(context.Background(), w, cfg, benchBudget)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -358,7 +360,7 @@ func BenchmarkAblationUCHSize(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				cfg := ooo.DefaultConfig(fusion.ModeHelios)
 				cfg.UCHLoadEntries = size
-				r, err := core.RunConfig(w, cfg, benchBudget)
+				r, err := core.RunConfig(context.Background(), w, cfg, benchBudget)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -389,7 +391,7 @@ func BenchmarkAblationConfidence(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				cfg := ooo.DefaultConfig(fusion.ModeHelios)
 				cfg.FP = c.fp
-				r, err := core.RunConfig(w, cfg, benchBudget)
+				r, err := core.RunConfig(context.Background(), w, cfg, benchBudget)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -409,7 +411,7 @@ func BenchmarkAblationStoreDrain(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				cfg := ooo.DefaultConfig(fusion.ModeHelios)
 				cfg.StoreDrainPerCycle = n
-				r, err := core.RunConfig(w, cfg, benchBudget)
+				r, err := core.RunConfig(context.Background(), w, cfg, benchBudget)
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -10,6 +10,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -17,6 +19,7 @@ import (
 
 	"helios/internal/experiments"
 	"helios/internal/fusion"
+	"helios/internal/ooo"
 )
 
 func main() {
@@ -26,8 +29,16 @@ func main() {
 		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		worklist = flag.String("workloads", "", "comma-separated workload subset (default: all)")
 		metrics  = flag.Bool("metrics", false, "print record/replay trace-layer counters after the tables")
+		timeout  = flag.Duration("timeout", 0, "abort the whole suite after this wall time (0 = no limit)")
 	)
 	flag.Parse()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	h := experiments.New(*insts)
 	if *worklist != "" {
@@ -35,9 +46,13 @@ func main() {
 	}
 
 	emit := func(idName string) {
-		tbl, err := h.Run(idName)
+		tbl, err := h.Run(ctx, idName)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", idName, err)
+			var se *ooo.SimError
+			if errors.As(err, &se) {
+				fmt.Fprintf(os.Stderr, "\ncrash dump:\n%s\n", se.JSON())
+			}
 			os.Exit(1)
 		}
 		if *csv {
@@ -55,7 +70,7 @@ func main() {
 		return
 	}
 	// Warm the cache in parallel before printing everything.
-	h.Suite.Prefetch(h.Workloads, fusion.Modes)
+	h.Suite.Prefetch(ctx, h.Workloads, fusion.Modes)
 	for _, idName := range experiments.IDs() {
 		emit(idName)
 	}

@@ -6,10 +6,13 @@
 //	heliossim -workload xz -mode Helios [-insts 350000]
 //	heliossim -workload xz -trace-out xz.trace.gz   # record the stream
 //	heliossim -trace-in xz.trace.gz -compare        # replay it per config
+//	heliossim -workload xz -timeout 30s             # bound the wall time
 //	heliossim -list
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -32,8 +35,16 @@ func main() {
 		compare  = flag.Bool("compare", false, "run every fusion configuration and compare IPC")
 		traceOut = flag.String("trace-out", "", "record the committed stream to this file (gzip-framed binary)")
 		traceIn  = flag.String("trace-in", "", "simulate a previously recorded stream instead of emulating")
+		timeout  = flag.Duration("timeout", 0, "abort the whole run after this wall time (0 = no limit)")
 	)
 	flag.Parse()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	if *list {
 		for _, w := range workloads.All() {
@@ -96,7 +107,7 @@ func main() {
 
 	// Phase two: replay through the cycle-level model.
 	if *compare {
-		runCompare(name, rec)
+		runCompare(ctx, name, rec)
 		return
 	}
 	m, ok := fusion.ModeByName(*mode)
@@ -109,9 +120,9 @@ func main() {
 		err error
 	)
 	if rec != nil {
-		r, err = core.RunSource(name, ooo.DefaultConfig(m), rec.Replay(), 0)
+		r, err = core.RunSource(ctx, name, ooo.DefaultConfig(m), rec.Replay(), 0)
 	} else {
-		r, err = core.Run(w, m, *insts)
+		r, err = core.Run(ctx, w, m, *insts)
 	}
 	if err != nil {
 		fatal(err)
@@ -119,8 +130,16 @@ func main() {
 	printResult(r)
 }
 
+// fatal prints the error and exits. If the failure is a structured
+// pipeline crash, the full JSON dump (cycle, queue occupancies, recent
+// commits, invariant verdict) follows the one-line summary so the state
+// at the point of death is preserved for post-mortem.
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, err)
+	var se *ooo.SimError
+	if errors.As(err, &se) {
+		fmt.Fprintf(os.Stderr, "\ncrash dump:\n%s\n", se.JSON())
+	}
 	os.Exit(1)
 }
 
@@ -133,12 +152,12 @@ func modeNames() string {
 }
 
 // runCompare replays the one recording through every fusion configuration.
-func runCompare(name string, rec *trace.Recording) {
+func runCompare(ctx context.Context, name string, rec *trace.Recording) {
 	t := stats.NewTable(fmt.Sprintf("%s: fusion configuration comparison", name),
 		"config", "IPC", "vs NoFusion", "csf", "ncsf", "idioms", "mispredicts")
 	var base float64
 	for _, m := range fusion.Modes {
-		r, err := core.RunSource(name, ooo.DefaultConfig(m), rec.Replay(), 0)
+		r, err := core.RunSource(ctx, name, ooo.DefaultConfig(m), rec.Replay(), 0)
 		if err != nil {
 			fatal(err)
 		}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -18,6 +19,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	name := "xz"
 	if len(os.Args) > 1 {
 		name = os.Args[1]
@@ -32,7 +34,7 @@ func main() {
 		"config", "IPC", "speedup", "pairs", "sq stall%")
 	var base float64
 	for _, m := range fusion.Modes {
-		r, err := core.Run(w, m, 0)
+		r, err := core.Run(ctx, w, m, 0)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -53,7 +55,7 @@ func main() {
 	for _, nest := range []int{1, 2, 4, 8} {
 		cfg := ooo.DefaultConfig(fusion.ModeHelios)
 		cfg.MaxNCSFNest = nest
-		r, err := core.RunConfig(w, cfg, 0)
+		r, err := core.RunConfig(ctx, w, cfg, 0)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -68,7 +70,7 @@ func main() {
 	for _, dist := range []int{4, 16, 64} {
 		cfg := ooo.DefaultConfig(fusion.ModeHelios)
 		cfg.PairCfg.MaxDist = dist
-		r, err := core.RunConfig(w, cfg, 0)
+		r, err := core.RunConfig(ctx, w, cfg, 0)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,0 +1,143 @@
+package chaos
+
+import (
+	"errors"
+	"testing"
+
+	"helios/internal/asm"
+	"helios/internal/emu"
+	"helios/internal/ooo"
+	"helios/internal/trace"
+)
+
+// chaosProgram mixes dependent ALU work, pairable loads and stores, and
+// short branches — enough to exercise every fusion path while staying
+// small enough to replay hundreds of times.
+const chaosProgram = `
+	.data
+buf:
+	.zero 2048
+	.text
+_start:
+	la s0, buf
+	li s1, 200
+	li t0, 3
+	li t1, 5
+loop:
+	ld t2, 0(s0)
+	ld t3, 8(s0)
+	add t2, t2, t0
+	xor t3, t3, t1
+	sd t2, 16(s0)
+	sd t3, 24(s0)
+	slli t4, t0, 2
+	add t4, t4, s0
+	ld t5, 32(s0)
+	beqz t5, skip
+	addi t1, t1, 1
+skip:
+	addi t0, t0, 1
+	addi s1, s1, -1
+	bnez s1, loop
+	li a7, 93
+	li a0, 0
+	ecall
+`
+
+// buildRecording assembles and records the chaos program's committed
+// stream once; campaigns replay it.
+func buildRecording(t testing.TB) *trace.Recording {
+	t.Helper()
+	prog, err := asm.Assemble(chaosProgram)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	rec, err := trace.Record(trace.NewLive(emu.New(prog), 0))
+	if err != nil {
+		t.Fatalf("record: %v", err)
+	}
+	rec.Name = "chaos"
+	rec.MaxInsts = uint64(rec.Len())
+	return rec
+}
+
+// TestFaultInjectionContract is the chaos driver: it fires the full
+// campaign set — stream faults, file faults, flush storms, randomized
+// machine configurations — and asserts the stack-wide failure contract:
+// several hundred injected faults, every one ending in a clean
+// correctly-accounted result or a typed structured error; zero panics,
+// hangs, silent truncations or architectural divergences.
+func TestFaultInjectionContract(t *testing.T) {
+	rec := buildRecording(t)
+
+	var total Report
+	total.Merge(StreamCampaign(rec, 120, 0xC0FFEE))
+	total.Merge(FileCampaign(rec, 80, 0xBEEF))
+	storms, randomCfgs := 24, 30
+	if testing.Short() {
+		storms, randomCfgs = 6, 6
+	}
+	total.Merge(PipelineCampaign(rec, storms, randomCfgs, 0xFACADE))
+
+	t.Log(total.String())
+	if total.Runs < 200 {
+		t.Errorf("only %d injections; the contract demands at least 200", total.Runs)
+	}
+	for _, v := range total.Violations {
+		t.Errorf("violation: %s", v)
+	}
+	if total.Clean+total.TypedErrors+len(total.Violations) != total.Runs {
+		t.Errorf("report does not add up: %+v", total)
+	}
+	if total.Clean == 0 || total.TypedErrors == 0 {
+		t.Errorf("campaign not exercising both outcomes: %s", total.String())
+	}
+}
+
+// TestInjectorSilentTruncation pins the hardest stream case: the source
+// just stops early with no error, and the pipeline must exit cleanly
+// having committed exactly what it was given.
+func TestInjectorSilentTruncation(t *testing.T) {
+	rec := buildRecording(t)
+	inj := Inject(rec.Replay(), StreamFault{Kind: FaultSilentTruncate, At: 500})
+	p := ooo.New(ooo.DefaultConfig(0), inj)
+	st, err := p.RunChecked(64)
+	if err != nil {
+		t.Fatalf("silent truncation must end cleanly, got %v", err)
+	}
+	if inj.Delivered() != 500 {
+		t.Fatalf("delivered %d records, want 500", inj.Delivered())
+	}
+	if st.CommittedInsts != 500 {
+		t.Errorf("committed %d instructions of 500 delivered", st.CommittedInsts)
+	}
+}
+
+// TestInjectorSentinelVisible checks an injected stream error stays
+// identifiable through the pipeline's error wrapping.
+func TestInjectorSentinelVisible(t *testing.T) {
+	rec := buildRecording(t)
+	inj := Inject(rec.Replay(), StreamFault{Kind: FaultTruncate, At: 300})
+	p := ooo.New(ooo.DefaultConfig(0), inj)
+	_, err := p.RunChecked(64)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want the ErrInjected sentinel", err)
+	}
+	var se *ooo.SimError
+	if !errors.As(err, &se) || se.Kind != ooo.FailStream {
+		t.Fatalf("err = %v, want a %s SimError", err, ooo.FailStream)
+	}
+}
+
+// TestInjectorReorderCaught checks a program-order violation from the
+// source is rejected as a corrupt stream, not simulated.
+func TestInjectorReorderCaught(t *testing.T) {
+	rec := buildRecording(t)
+	inj := Inject(rec.Replay(), StreamFault{Kind: FaultReorder, At: 100})
+	p := ooo.New(ooo.DefaultConfig(0), inj)
+	_, err := p.RunChecked(64)
+	var se *ooo.SimError
+	if !errors.As(err, &se) || se.Kind != ooo.FailCorrupt {
+		t.Fatalf("err = %v, want a %s SimError", err, ooo.FailCorrupt)
+	}
+}

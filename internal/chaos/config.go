@@ -1,0 +1,69 @@
+package chaos
+
+import (
+	"math/rand"
+
+	"helios/internal/cache"
+	"helios/internal/fusion"
+	"helios/internal/ooo"
+)
+
+// RandomConfig draws a legal but aggressively varied machine
+// configuration: narrow and wide pipelines, tiny and huge structures,
+// odd cache geometries and latencies. Every configuration it returns
+// must simulate any well-formed stream to the same architectural result
+// as the default machine — the pipeline campaign asserts exactly that.
+func RandomConfig(rng *rand.Rand, mode fusion.Mode) ooo.Config {
+	cfg := ooo.DefaultConfig(mode)
+
+	cfg.FetchWidth = 1 + rng.Intn(8)
+	cfg.DecodeWidth = 1 + rng.Intn(8)
+	cfg.RenameWidth = 1 + rng.Intn(5)
+	cfg.DispatchWidth = 1 + rng.Intn(5)
+	cfg.CommitWidth = 1 + rng.Intn(8)
+
+	cfg.AQSize = 8 + rng.Intn(133)
+	cfg.ROBSize = 16 + rng.Intn(337)
+	cfg.IQSize = 8 + rng.Intn(153)
+	cfg.LQSize = 4 + rng.Intn(125)
+	cfg.SQSize = 4 + rng.Intn(69)
+	cfg.PhysRegs = 64 + rng.Intn(321)
+
+	cfg.ALUPorts = 1 + rng.Intn(4)
+	cfg.LoadPorts = 1 + rng.Intn(2)
+	cfg.StorePorts = 1 + rng.Intn(2)
+
+	cfg.ALULatency = 1 + rng.Intn(2)
+	cfg.MulLatency = 1 + rng.Intn(5)
+	cfg.DivLatency = 5 + rng.Intn(26)
+	cfg.RedirectPenalty = 5 + rng.Intn(16)
+	cfg.StoreDrainPerCycle = 1 + rng.Intn(2)
+	cfg.MaxNCSFNest = 1 + rng.Intn(4)
+
+	cfg.Cache = randomCache(rng)
+	return cfg
+}
+
+// randomCache draws a hierarchy with varied geometry. Line size stays at
+// 64 B (it is also the fusion pairing granularity); sets, ways and
+// latencies swing widely.
+func randomCache(rng *rand.Rand) cache.Config {
+	level := func(name string, maxSets, maxWays, minLat, maxLat int) cache.LevelConfig {
+		return cache.LevelConfig{
+			Name:     name,
+			Sets:     1 << (2 + rng.Intn(maxSets)),
+			Ways:     1 + rng.Intn(maxWays),
+			LineSize: 64,
+			Latency:  minLat + rng.Intn(maxLat-minLat+1),
+		}
+	}
+	return cache.Config{
+		LineSize:         64,
+		L1I:              level("L1I", 5, 8, 1, 3),
+		L1D:              level("L1D", 5, 12, 2, 7),
+		L2:               level("L2", 9, 8, 8, 20),
+		LLC:              level("LLC", 10, 16, 25, 60),
+		MemLatency:       50 + rng.Intn(251),
+		NextLinePrefetch: rng.Intn(2) == 0,
+	}
+}

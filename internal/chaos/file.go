@@ -1,0 +1,90 @@
+package chaos
+
+import (
+	"bytes"
+	"compress/gzip"
+	"io"
+
+	"helios/internal/trace"
+)
+
+// File-level fault helpers. Trace files are gzip-framed, so faults are
+// applied at two layers: truncation happens on the *uncompressed* payload
+// at every frame boundary (then re-gzipped, so the file itself is
+// well-formed gzip and only the trace framing is damaged), and bit flips
+// happen on the raw compressed bytes (exercising the gzip header, CRC
+// and deflate stream as well as the framing).
+
+// Serialize renders a recording to trace-file bytes.
+func Serialize(rec *trace.Recording) ([]byte, error) {
+	var buf bytes.Buffer
+	if _, err := rec.WriteTo(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Gunzip returns the uncompressed framed payload of a trace file.
+func Gunzip(file []byte) ([]byte, error) {
+	zr, err := gzip.NewReader(bytes.NewReader(file))
+	if err != nil {
+		return nil, err
+	}
+	defer zr.Close()
+	return io.ReadAll(zr)
+}
+
+// Gzip re-compresses a (possibly damaged) payload into a well-formed
+// gzip stream.
+func Gzip(payload []byte) []byte {
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	zw.Write(payload) //nolint:errcheck // bytes.Buffer cannot fail
+	zw.Close()        //nolint:errcheck
+	return buf.Bytes()
+}
+
+// FrameTruncations returns the recording's trace file truncated at every
+// frame boundary of the payload (plus the empty payload), each re-gzipped
+// into a valid gzip stream. The final element is the full, undamaged
+// payload. trace.ReadFrom must reject every proper prefix loudly.
+func FrameTruncations(rec *trace.Recording) ([][]byte, error) {
+	file, err := Serialize(rec)
+	if err != nil {
+		return nil, err
+	}
+	payload, err := Gunzip(file)
+	if err != nil {
+		return nil, err
+	}
+	offs := append([]int{0}, trace.FrameOffsets(len(rec.Name), rec.Len())...)
+	out := make([][]byte, 0, len(offs))
+	for _, off := range offs {
+		if off > len(payload) {
+			break
+		}
+		out = append(out, Gzip(payload[:off]))
+	}
+	return out, nil
+}
+
+// FlipBit returns a copy of file with one bit inverted.
+func FlipBit(file []byte, byteIdx int, bit uint) []byte {
+	out := append([]byte(nil), file...)
+	out[byteIdx%len(out)] ^= 1 << (bit % 8)
+	return out
+}
+
+// RecordingsEqual reports whether two recordings are bit-identical in
+// metadata and every record.
+func RecordingsEqual(a, b *trace.Recording) bool {
+	if a.Name != b.Name || a.MaxInsts != b.MaxInsts || a.Len() != b.Len() {
+		return false
+	}
+	for i := 0; i < a.Len(); i++ {
+		if a.At(i) != b.At(i) {
+			return false
+		}
+	}
+	return true
+}

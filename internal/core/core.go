@@ -8,14 +8,24 @@
 // configuration. Suite performs the record-once/replay-many bookkeeping
 // and deduplicates concurrent requests for the same key.
 //
+// Every entry point takes a context.Context: cancellation and deadlines
+// are honored mid-run (checked inside the pipeline's cycle loop and the
+// recording emulation), and a context failure is never cached. When a
+// cached recording fails to replay (e.g. a corrupt trace file was seeded
+// via SeedRecording), Suite degrades gracefully: it re-emulates the
+// workload live exactly once, replaces the recording, and retries — so
+// one bad trace costs one extra emulation, not the whole suite run.
+//
 // Typical use:
 //
 //	w, _ := workloads.ByName("crc32")
-//	res, err := core.Run(w, fusion.ModeHelios, 0)
+//	res, err := core.Run(ctx, w, fusion.ModeHelios, 0)
 //	fmt.Println(res.Stats.IPC())
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -36,14 +46,14 @@ type Result struct {
 
 // Run simulates workload w under the given fusion mode for maxInsts
 // architectural instructions (0 = the workload's own budget).
-func Run(w workloads.Workload, mode fusion.Mode, maxInsts uint64) (*Result, error) {
+func Run(ctx context.Context, w workloads.Workload, mode fusion.Mode, maxInsts uint64) (*Result, error) {
 	cfg := ooo.DefaultConfig(mode)
-	return RunConfig(w, cfg, maxInsts)
+	return RunConfig(ctx, w, cfg, maxInsts)
 }
 
 // RunConfig simulates with an explicit machine configuration, emulating
 // the workload live (single-run callers do not pay for a recording).
-func RunConfig(w workloads.Workload, cfg ooo.Config, maxInsts uint64) (*Result, error) {
+func RunConfig(ctx context.Context, w workloads.Workload, cfg ooo.Config, maxInsts uint64) (*Result, error) {
 	if maxInsts == 0 {
 		maxInsts = w.MaxInsts
 	}
@@ -51,20 +61,28 @@ func RunConfig(w workloads.Workload, cfg ooo.Config, maxInsts uint64) (*Result, 
 	if err != nil {
 		return nil, err
 	}
-	return RunSource(w.Name, cfg, src, maxInsts)
+	return RunSource(ctx, w.Name, cfg, src, maxInsts)
 }
 
 // RunSource simulates an explicit committed-path source — typically a
 // trace.Recording replay cursor or a loaded trace file — under cfg.
-// maxInsts bounds committed instructions (0 = drain the source).
-func RunSource(name string, cfg ooo.Config, src trace.Source, maxInsts uint64) (*Result, error) {
+// maxInsts bounds committed instructions (0 = drain the source). The
+// context is polled inside the cycle loop; on cancellation the returned
+// error unwraps to ctx.Err().
+func RunSource(ctx context.Context, name string, cfg ooo.Config, src trace.Source, maxInsts uint64) (*Result, error) {
 	cfg.MaxUops = maxInsts
 	p := ooo.New(cfg, src)
-	st, err := p.Run()
+	st, err := p.RunContext(ctx)
 	if err != nil {
 		return nil, fmt.Errorf("core: %s/%v: %w", name, cfg.Mode, err)
 	}
 	return &Result{Workload: name, Mode: cfg.Mode, Stats: *st}, nil
+}
+
+// isCtxErr reports whether err is a cancellation/deadline failure —
+// caller-induced, so never cached and never "repaired".
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 // Metrics is a snapshot of the suite's record/replay observability
@@ -76,6 +94,11 @@ type Metrics struct {
 	Replays      uint64 // replay cursors handed to the pipeline
 	PipelineRuns uint64 // cycle-level simulations performed
 	DedupedRuns  uint64 // Get calls that waited on an identical in-flight run
+
+	// LiveFallbacks counts recordings re-emulated live because a cached
+	// recording failed to replay (graceful degradation; at most one per
+	// workload×budget key).
+	LiveFallbacks uint64
 
 	EmuTime time.Duration // wall time in functional emulation (recording)
 	SimTime time.Duration // wall time in cycle-level simulation
@@ -112,6 +135,9 @@ type traceKey struct {
 type traceEntry struct {
 	rec *trace.Recording
 	err error
+	// repaired marks a recording produced by the live-fallback path: if
+	// it still fails to replay, the failure is real and must surface.
+	repaired bool
 }
 
 // NewSuite creates a result cache with the given per-run budget.
@@ -141,9 +167,21 @@ func (s *Suite) budget(w workloads.Workload) uint64 {
 	return w.MaxInsts
 }
 
+// SeedRecording pre-populates the trace cache with an externally
+// produced recording (e.g. loaded from a trace file), keyed by its Name
+// and MaxInsts. Replays will use it instead of emulating — and if it
+// turns out to be corrupt, the live-fallback path replaces it.
+func (s *Suite) SeedRecording(rec *trace.Recording) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.traces[traceKey{rec.Name, rec.MaxInsts}] = &traceEntry{rec: rec}
+}
+
 // Get returns the (cached) result for one workload/mode pair. Concurrent
-// calls for the same uncached key share a single simulation.
-func (s *Suite) Get(name string, mode fusion.Mode) (*Result, error) {
+// calls for the same uncached key share a single simulation. Context
+// failures abort the wait or the run but are never cached, so a later
+// Get with a live context retries.
+func (s *Suite) Get(ctx context.Context, name string, mode fusion.Mode) (*Result, error) {
 	key := suiteKey{name, mode}
 	s.mu.Lock()
 	for {
@@ -158,18 +196,24 @@ func (s *Suite) Get(name string, mode fusion.Mode) (*Result, error) {
 		}
 		s.metrics.DedupedRuns++
 		s.mu.Unlock()
-		<-ch
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
 		s.mu.Lock()
 	}
 	ch := make(chan struct{})
 	s.resFlight[key] = ch
 	s.mu.Unlock()
 
-	r, err := s.run(name, mode)
+	r, err := s.run(ctx, name, mode)
 
 	s.mu.Lock()
-	s.cache[key] = r
-	s.errs[key] = err
+	if !isCtxErr(err) {
+		s.cache[key] = r
+		s.errs[key] = err
+	}
 	delete(s.resFlight, key)
 	s.mu.Unlock()
 	close(ch)
@@ -177,41 +221,64 @@ func (s *Suite) Get(name string, mode fusion.Mode) (*Result, error) {
 }
 
 // run performs one uncached simulation: fetch (or make) the workload's
-// recording, then replay it through the pipeline under the given mode.
-func (s *Suite) run(name string, mode fusion.Mode) (*Result, error) {
+// recording, replay it through the pipeline under the given mode, and on
+// a replay failure degrade to one live re-emulation.
+func (s *Suite) run(ctx context.Context, name string, mode fusion.Mode) (*Result, error) {
 	w, ok := workloads.ByName(name)
 	if !ok {
 		return nil, fmt.Errorf("core: unknown workload %q", name)
 	}
 	budget := s.budget(w)
-	rec, err := s.recording(w, budget)
+	rec, err := s.recording(ctx, w, budget)
 	if err != nil {
 		return nil, err
 	}
+	r, runErr := s.replay(ctx, name, mode, rec, budget)
+	if runErr == nil || isCtxErr(runErr) {
+		return r, runErr
+	}
+	// The recording failed to replay (corrupt trace file, truncated
+	// stream, ...). Degrade: re-emulate the workload live — once per
+	// trace key — and retry against the fresh recording.
+	fresh, ferr := s.repairRecording(ctx, w, budget, rec)
+	if ferr != nil {
+		return nil, fmt.Errorf("core: %s: replay failed (%w) and live fallback failed: %w", name, runErr, ferr)
+	}
+	if fresh == rec {
+		// Already the repaired recording: the failure is real.
+		return r, runErr
+	}
+	return s.replay(ctx, name, mode, fresh, budget)
+}
+
+// replay runs one cycle-level simulation over a recording, with timing
+// accounted to the suite metrics.
+func (s *Suite) replay(ctx context.Context, name string, mode fusion.Mode, rec *trace.Recording, budget uint64) (*Result, error) {
 	start := time.Now()
-	r, runErr := RunSource(name, ooo.DefaultConfig(mode), rec.Replay(), budget)
+	r, err := RunSource(ctx, name, ooo.DefaultConfig(mode), rec.Replay(), budget)
 	s.mu.Lock()
 	s.metrics.Replays++
 	s.metrics.PipelineRuns++
 	s.metrics.SimTime += time.Since(start)
 	s.mu.Unlock()
-	return r, runErr
+	return r, err
 }
 
 // Recording returns the workload's committed stream at the suite's
 // budget, materializing it on first use (experiment drivers replay it for
 // trace analyses without re-emulating).
-func (s *Suite) Recording(name string) (*trace.Recording, error) {
+func (s *Suite) Recording(ctx context.Context, name string) (*trace.Recording, error) {
 	w, ok := workloads.ByName(name)
 	if !ok {
 		return nil, fmt.Errorf("core: unknown workload %q", name)
 	}
-	return s.recording(w, s.budget(w))
+	return s.recording(ctx, w, s.budget(w))
 }
 
 // recording is the record-once half: per (workload, budget) key, the
 // first caller emulates and everyone else waits for or reuses the buffer.
-func (s *Suite) recording(w workloads.Workload, budget uint64) (*trace.Recording, error) {
+// A context failure during emulation is returned but not cached.
+func (s *Suite) recording(ctx context.Context, w workloads.Workload, budget uint64) (*trace.Recording, error) {
 	key := traceKey{w.Name, budget}
 	s.mu.Lock()
 	for {
@@ -225,7 +292,11 @@ func (s *Suite) recording(w workloads.Workload, budget uint64) (*trace.Recording
 			break
 		}
 		s.mu.Unlock()
-		<-ch
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
 		s.mu.Lock()
 	}
 	ch := make(chan struct{})
@@ -234,10 +305,78 @@ func (s *Suite) recording(w workloads.Workload, budget uint64) (*trace.Recording
 	s.mu.Unlock()
 
 	start := time.Now()
-	rec, err := w.Record(budget)
+	rec, err := s.emulate(ctx, w, budget)
 
 	s.mu.Lock()
-	s.traces[key] = &traceEntry{rec: rec, err: err}
+	if !isCtxErr(err) {
+		s.traces[key] = &traceEntry{rec: rec, err: err}
+	}
+	s.metrics.EmuTime += time.Since(start)
+	delete(s.traceFlight, key)
+	s.mu.Unlock()
+	close(ch)
+	return rec, err
+}
+
+// emulate records the workload's committed stream under ctx.
+func (s *Suite) emulate(ctx context.Context, w workloads.Workload, budget uint64) (*trace.Recording, error) {
+	src, err := w.Trace(budget)
+	if err != nil {
+		return nil, err
+	}
+	rec, err := trace.Record(trace.WithContext(ctx, src))
+	if err != nil {
+		return nil, fmt.Errorf("workload %s: %w", w.Name, err)
+	}
+	rec.Name = w.Name
+	rec.MaxInsts = budget
+	return rec, nil
+}
+
+// repairRecording implements the degradation path: replace a recording
+// that failed to replay with one fresh live emulation. At most one
+// repair happens per trace key — if the repaired recording also fails,
+// callers surface the failure. bad is the recording the caller just
+// watched fail, so a concurrent repair is detected and reused.
+func (s *Suite) repairRecording(ctx context.Context, w workloads.Workload, budget uint64, bad *trace.Recording) (*trace.Recording, error) {
+	key := traceKey{w.Name, budget}
+	s.mu.Lock()
+	for {
+		e := s.traces[key]
+		if e != nil && (e.rec != bad || e.repaired) {
+			// Someone already repaired (or the caller replayed the
+			// repaired recording): hand it back as-is.
+			s.mu.Unlock()
+			return e.rec, e.err
+		}
+		ch, inflight := s.traceFlight[key]
+		if !inflight {
+			break
+		}
+		s.mu.Unlock()
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		s.mu.Lock()
+	}
+	ch := make(chan struct{})
+	s.traceFlight[key] = ch
+	s.metrics.LiveFallbacks++
+	s.mu.Unlock()
+
+	start := time.Now()
+	rec, err := s.emulate(ctx, w, budget)
+
+	s.mu.Lock()
+	if isCtxErr(err) {
+		// Keep the old (bad) entry so a later Get can retry the repair.
+		s.traces[key] = &traceEntry{rec: bad}
+		s.metrics.LiveFallbacks--
+	} else {
+		s.traces[key] = &traceEntry{rec: rec, err: err, repaired: true}
+	}
 	s.metrics.EmuTime += time.Since(start)
 	delete(s.traceFlight, key)
 	s.mu.Unlock()
@@ -246,8 +385,9 @@ func (s *Suite) recording(w workloads.Workload, budget uint64) (*trace.Recording
 }
 
 // Prefetch runs every workload under each mode in parallel, filling the
-// cache. Errors surface on the corresponding Get.
-func (s *Suite) Prefetch(names []string, modes []fusion.Mode) {
+// cache. Errors surface on the corresponding Get; Prefetch stops issuing
+// work once ctx fails.
+func (s *Suite) Prefetch(ctx context.Context, names []string, modes []fusion.Mode) {
 	type job struct {
 		name string
 		mode fusion.Mode
@@ -260,12 +400,15 @@ func (s *Suite) Prefetch(names []string, modes []fusion.Mode) {
 		go func() {
 			defer wg.Done()
 			for j := range jobs {
-				s.Get(j.name, j.mode) //nolint:errcheck // cached, surfaced later
+				s.Get(ctx, j.name, j.mode) //nolint:errcheck // cached, surfaced later
 			}
 		}()
 	}
 	for _, n := range names {
 		for _, m := range modes {
+			if ctx.Err() != nil {
+				break
+			}
 			jobs <- job{n, m}
 		}
 	}

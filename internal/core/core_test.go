@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -14,7 +16,7 @@ func TestRunOneWorkload(t *testing.T) {
 	if !ok {
 		t.Fatal("crc32 missing")
 	}
-	r, err := Run(w, fusion.ModeNoFusion, 30_000)
+	r, err := Run(context.Background(), w, fusion.ModeNoFusion, 30_000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -31,11 +33,11 @@ func TestRunOneWorkload(t *testing.T) {
 
 func TestSuiteCaches(t *testing.T) {
 	s := NewSuite(20_000)
-	a, err := s.Get("crc32", fusion.ModeNoFusion)
+	a, err := s.Get(context.Background(), "crc32", fusion.ModeNoFusion)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := s.Get("crc32", fusion.ModeNoFusion)
+	b, err := s.Get(context.Background(), "crc32", fusion.ModeNoFusion)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,7 +48,7 @@ func TestSuiteCaches(t *testing.T) {
 
 func TestSuiteUnknownWorkload(t *testing.T) {
 	s := NewSuite(1000)
-	if _, err := s.Get("nope", fusion.ModeNoFusion); err == nil {
+	if _, err := s.Get(context.Background(), "nope", fusion.ModeNoFusion); err == nil {
 		t.Error("unknown workload must error")
 	}
 }
@@ -55,11 +57,11 @@ func TestPrefetchFillsCache(t *testing.T) {
 	s := NewSuite(10_000)
 	names := []string{"crc32", "sha"}
 	modes := []fusion.Mode{fusion.ModeNoFusion, fusion.ModeHelios}
-	s.Prefetch(names, modes)
+	s.Prefetch(context.Background(), names, modes)
 	var hits int64
 	for _, n := range names {
 		for _, m := range modes {
-			if r, err := s.Get(n, m); err == nil && r != nil {
+			if r, err := s.Get(context.Background(), n, m); err == nil && r != nil {
 				atomic.AddInt64(&hits, 1)
 			}
 		}
@@ -83,7 +85,7 @@ func TestSuiteSingleflight(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			r, err := s.Get("crc32", fusion.ModeNoFusion)
+			r, err := s.Get(context.Background(), "crc32", fusion.ModeNoFusion)
 			if err != nil {
 				t.Error(err)
 				return
@@ -113,10 +115,10 @@ func TestSuiteSingleflight(t *testing.T) {
 // workload must replay the recorded trace, not re-emulate.
 func TestSuiteTraceReuseAcrossModes(t *testing.T) {
 	s := NewSuite(15_000)
-	if _, err := s.Get("sha", fusion.ModeNoFusion); err != nil {
+	if _, err := s.Get(context.Background(), "sha", fusion.ModeNoFusion); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Get("sha", fusion.ModeHelios); err != nil {
+	if _, err := s.Get(context.Background(), "sha", fusion.ModeHelios); err != nil {
 		t.Fatal(err)
 	}
 	m := s.Metrics()
@@ -133,11 +135,11 @@ func TestSuiteTraceReuseAcrossModes(t *testing.T) {
 
 func TestDeterministicResults(t *testing.T) {
 	w, _ := workloads.ByName("sha")
-	a, err := Run(w, fusion.ModeHelios, 25_000)
+	a, err := Run(context.Background(), w, fusion.ModeHelios, 25_000)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Run(w, fusion.ModeHelios, 25_000)
+	b, err := Run(context.Background(), w, fusion.ModeHelios, 25_000)
 	if err != nil {
 		t.Fatal(err)
 	}

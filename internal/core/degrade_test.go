@@ -1,0 +1,136 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"helios/internal/emu"
+	"helios/internal/fusion"
+	"helios/internal/isa"
+	"helios/internal/ooo"
+	"helios/internal/trace"
+)
+
+// corruptRecording builds a recording whose record stream is valid until
+// midway, then jumps the sequence numbers — the pipeline's stream
+// validation rejects it as a corrupt trace.
+func corruptRecording(name string, budget uint64) *trace.Recording {
+	recs := make([]emu.Retired, 64)
+	for i := range recs {
+		recs[i] = emu.Retired{
+			Seq:    uint64(i),
+			PC:     0x1000 + uint64(i)*4,
+			NextPC: 0x1000 + uint64(i)*4 + 4,
+			Inst:   isa.Inst{Op: isa.OpADDI, Rd: 5, Rs1: 5, Imm: 1},
+		}
+	}
+	recs[32].Seq = 9999 // sequence discontinuity: silent record loss
+	return trace.FromRecords(name, budget, recs)
+}
+
+// TestSuiteDegradesCorruptRecording seeds a corrupt recording and checks
+// the graceful-degradation contract: every fusion mode still produces a
+// result, at the cost of exactly one live re-emulation.
+func TestSuiteDegradesCorruptRecording(t *testing.T) {
+	const budget = 20_000
+	s := NewSuite(budget)
+	s.SeedRecording(corruptRecording("crc32", budget))
+
+	ctx := context.Background()
+	var committed []uint64
+	for _, m := range fusion.Modes {
+		r, err := s.Get(ctx, "crc32", m)
+		if err != nil {
+			t.Fatalf("%v: corrupt recording was not repaired: %v", m, err)
+		}
+		if r.Stats.CommittedInsts == 0 {
+			t.Fatalf("%v: empty result after repair", m)
+		}
+		committed = append(committed, r.Stats.CommittedInsts)
+	}
+	for i, c := range committed {
+		if c != committed[0] {
+			t.Errorf("mode %v committed %d insts, want %d (fusion must not change architecture)",
+				fusion.Modes[i], c, committed[0])
+		}
+	}
+	if got := s.Metrics().LiveFallbacks; got != 1 {
+		t.Errorf("LiveFallbacks = %d, want exactly 1 (repair once, reuse for all modes)", got)
+	}
+}
+
+// TestRepairedRecordingFailureSurfaces checks the other half of the
+// repair-once contract: if the recording marked as repaired still fails
+// to replay, the failure is real and must surface, not loop.
+func TestRepairedRecordingFailureSurfaces(t *testing.T) {
+	const budget = 20_000
+	s := NewSuite(budget)
+	bad := corruptRecording("crc32", budget)
+	s.traces[traceKey{"crc32", budget}] = &traceEntry{rec: bad, repaired: true}
+
+	_, err := s.Get(context.Background(), "crc32", fusion.ModeNoFusion)
+	if err == nil {
+		t.Fatal("replay of a failing repaired recording reported success")
+	}
+	var se *ooo.SimError
+	if !errors.As(err, &se) || se.Kind != ooo.FailCorrupt {
+		t.Fatalf("err = %v, want a %s SimError", err, ooo.FailCorrupt)
+	}
+	if got := s.Metrics().LiveFallbacks; got != 0 {
+		t.Errorf("LiveFallbacks = %d, want 0 (no second repair attempt)", got)
+	}
+}
+
+// TestGetExpiredDeadline checks that a dead context aborts Get with the
+// context's error and that the failure is not cached — a later call with
+// a live context must succeed.
+func TestGetExpiredDeadline(t *testing.T) {
+	s := NewSuite(10_000)
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+
+	_, err := s.Get(ctx, "crc32", fusion.ModeNoFusion)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if r, err := s.Get(context.Background(), "crc32", fusion.ModeNoFusion); err != nil || r == nil {
+		t.Fatalf("deadline failure was cached: retry got (%v, %v)", r, err)
+	}
+}
+
+// TestRunSourceCancelledMidRun runs the pipeline over an endless synthetic
+// stream and cancels while it is running: the cycle loop must notice and
+// return an error unwrapping to context.Canceled.
+func TestRunSourceCancelledMidRun(t *testing.T) {
+	var seq uint64
+	endless := trace.Func(func() (emu.Retired, bool) {
+		r := emu.Retired{
+			Seq:    seq,
+			PC:     0x1000,
+			NextPC: 0x1000,
+			Inst:   isa.Inst{Op: isa.OpADDI, Rd: 5, Rs1: 5, Imm: 1},
+		}
+		seq++
+		return r, true
+	})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		cancel()
+	}()
+
+	_, err := RunSource(ctx, "endless", ooo.DefaultConfig(fusion.ModeNoFusion), endless, 0)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	var se *ooo.SimError
+	if !errors.As(err, &se) || se.Kind != ooo.FailContext {
+		t.Fatalf("err = %v, want a %s SimError", err, ooo.FailContext)
+	}
+	if se.Snapshot.ROB.Cap == 0 {
+		t.Error("context failure has no pipeline snapshot")
+	}
+}

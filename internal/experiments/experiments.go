@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -43,28 +44,28 @@ func IDs() []string {
 }
 
 // Run dispatches one experiment by identifier.
-func (h *Harness) Run(id string) (*stats.Table, error) {
+func (h *Harness) Run(ctx context.Context, id string) (*stats.Table, error) {
 	switch id {
 	case "fig2":
-		return h.Figure2()
+		return h.Figure2(ctx)
 	case "fig3":
-		return h.Figure3()
+		return h.Figure3(ctx)
 	case "fig4":
-		return h.Figure4()
+		return h.Figure4(ctx)
 	case "fig5":
-		return h.Figure5()
+		return h.Figure5(ctx)
 	case "fig8":
-		return h.Figure8()
+		return h.Figure8(ctx)
 	case "fig9":
-		return h.Figure9()
+		return h.Figure9(ctx)
 	case "fig10":
-		return h.Figure10()
+		return h.Figure10(ctx)
 	case "table2":
-		return h.Table2()
+		return h.Table2(ctx)
 	case "table3":
-		return h.Table3()
+		return h.Table3(ctx)
 	case "cost":
-		return h.TableCost()
+		return h.TableCost(ctx)
 	}
 	return nil, fmt.Errorf("experiments: unknown id %q (want one of %v)", id, IDs())
 }
@@ -72,13 +73,13 @@ func (h *Harness) Run(id string) (*stats.Table, error) {
 // Figure2 reports the percentage of dynamic µ-ops covered by fusion,
 // split into the Memory pairing idioms and the Other (non-memory) idioms,
 // measured on the RISCVFusion++ configuration.
-func (h *Harness) Figure2() (*stats.Table, error) {
+func (h *Harness) Figure2(ctx context.Context) (*stats.Table, error) {
 	t := stats.NewTable(
 		"Figure 2: fused µ-ops by idiom class (% of dynamic instructions), RISCVFusion++",
 		"benchmark", "memory", "others")
 	var mems, others []float64
 	for _, name := range h.Workloads {
-		r, err := h.Suite.Get(name, fusion.ModeRISCVFusionPP)
+		r, err := h.Suite.Get(ctx, name, fusion.ModeRISCVFusionPP)
 		if err != nil {
 			return nil, err
 		}
@@ -95,21 +96,21 @@ func (h *Harness) Figure2() (*stats.Table, error) {
 
 // Figure3 reports IPC of all-idiom fusion (RISCVFusion++) and memory-only
 // fusion (CSF-SBR) normalised to no fusion.
-func (h *Harness) Figure3() (*stats.Table, error) {
+func (h *Harness) Figure3(ctx context.Context) (*stats.Table, error) {
 	t := stats.NewTable(
 		"Figure 3: normalized IPC, all idioms vs memory-only fusion (baseline = NoFusion)",
 		"benchmark", "all idioms", "memory only")
 	var alls, memsOnly []float64
 	for _, name := range h.Workloads {
-		base, err := h.Suite.Get(name, fusion.ModeNoFusion)
+		base, err := h.Suite.Get(ctx, name, fusion.ModeNoFusion)
 		if err != nil {
 			return nil, err
 		}
-		all, err := h.Suite.Get(name, fusion.ModeRISCVFusionPP)
+		all, err := h.Suite.Get(ctx, name, fusion.ModeRISCVFusionPP)
 		if err != nil {
 			return nil, err
 		}
-		mem, err := h.Suite.Get(name, fusion.ModeCSFSBR)
+		mem, err := h.Suite.Get(ctx, name, fusion.ModeCSFSBR)
 		if err != nil {
 			return nil, err
 		}
@@ -125,8 +126,8 @@ func (h *Harness) Figure3() (*stats.Table, error) {
 
 // analyzeTrace runs the oracle pair analysis over a workload's committed
 // stream, replaying the suite's shared recording rather than re-emulating.
-func (h *Harness) analyzeTrace(name string, cfg fusion.PairConfig) (fusion.TraceStats, error) {
-	rec, err := h.Suite.Recording(name)
+func (h *Harness) analyzeTrace(ctx context.Context, name string, cfg fusion.PairConfig) (fusion.TraceStats, error) {
+	rec, err := h.Suite.Recording(ctx, name)
 	if err != nil {
 		return fusion.TraceStats{}, err
 	}
@@ -135,13 +136,13 @@ func (h *Harness) analyzeTrace(name string, cfg fusion.PairConfig) (fusion.Trace
 
 // Figure4 classifies consecutive memory pairs by address relationship:
 // contiguous, overlapping, same cache line, next line.
-func (h *Harness) Figure4() (*stats.Table, error) {
+func (h *Harness) Figure4(ctx context.Context) (*stats.Table, error) {
 	t := stats.NewTable(
 		"Figure 4: consecutive memory pairs by address category (% of dynamic µ-ops)",
 		"benchmark", "contiguous", "overlapping", "sameline", "nextline")
 	sums := make([]float64, 4)
 	for _, name := range h.Workloads {
-		ts, err := h.analyzeTrace(name, fusion.PairConfig{LineSize: 64, MaxDist: 64, ConsecutiveOnly: true})
+		ts, err := h.analyzeTrace(ctx, name, fusion.PairConfig{LineSize: 64, MaxDist: 64, ConsecutiveOnly: true})
 		if err != nil {
 			return nil, err
 		}
@@ -162,13 +163,13 @@ func (h *Harness) Figure4() (*stats.Table, error) {
 
 // Figure5 reports the additional potential of non-consecutive fusion and
 // of pairs using different base registers.
-func (h *Harness) Figure5() (*stats.Table, error) {
+func (h *Harness) Figure5(ctx context.Context) (*stats.Table, error) {
 	t := stats.NewTable(
 		"Figure 5: non-consecutive and different-base-register fusion potential (% of dynamic µ-ops)",
 		"benchmark", "csf", "ncsf", "dbr", "ncsf asym", "mean dist")
 	var csfs, ncsfs, dbrs []float64
 	for _, name := range h.Workloads {
-		ts, err := h.analyzeTrace(name, fusion.DefaultPairConfig())
+		ts, err := h.analyzeTrace(ctx, name, fusion.DefaultPairConfig())
 		if err != nil {
 			return nil, err
 		}
@@ -192,17 +193,17 @@ func (h *Harness) Figure5() (*stats.Table, error) {
 // Figure8 reports committed CSF and NCSF pairs in Helios and OracleFusion
 // as a percentage of dynamic memory instructions, plus the mean head-tail
 // distance (the paper reports 10.5 µ-ops on average).
-func (h *Harness) Figure8() (*stats.Table, error) {
+func (h *Harness) Figure8(ctx context.Context) (*stats.Table, error) {
 	t := stats.NewTable(
 		"Figure 8: fused pairs relative to dynamic memory instructions",
 		"benchmark", "helios csf", "helios ncsf", "oracle csf", "oracle ncsf", "helios dist")
 	var hc, hn, oc, on []float64
 	for _, name := range h.Workloads {
-		hr, err := h.Suite.Get(name, fusion.ModeHelios)
+		hr, err := h.Suite.Get(ctx, name, fusion.ModeHelios)
 		if err != nil {
 			return nil, err
 		}
-		or, err := h.Suite.Get(name, fusion.ModeOracle)
+		or, err := h.Suite.Get(ctx, name, fusion.ModeOracle)
 		if err != nil {
 			return nil, err
 		}
@@ -227,14 +228,14 @@ func (h *Harness) Figure8() (*stats.Table, error) {
 
 // Figure9 reports rename/dispatch structural stalls as a percentage of
 // execution cycles for the baseline, Helios and OracleFusion.
-func (h *Harness) Figure9() (*stats.Table, error) {
+func (h *Harness) Figure9(ctx context.Context) (*stats.Table, error) {
 	modes := []fusion.Mode{fusion.ModeNoFusion, fusion.ModeHelios, fusion.ModeOracle}
 	t := stats.NewTable(
 		"Figure 9: structural stall cycles (% of total cycles)",
 		"benchmark", "config", "rename(regs)", "rob", "iq", "lq", "sq", "total")
 	for _, name := range h.Workloads {
 		for _, m := range modes {
-			r, err := h.Suite.Get(name, m)
+			r, err := h.Suite.Get(ctx, name, m)
 			if err != nil {
 				return nil, err
 			}
@@ -255,7 +256,7 @@ func (h *Harness) Figure9() (*stats.Table, error) {
 // Figure10 reports the IPC of every configuration normalised to NoFusion,
 // with the geomean across workloads (the paper's headline: Helios +14.2%,
 // Oracle +16.3%, RISCVFusion++ +7%, CSF-SBR +6%, RISCVFusion +0.8%).
-func (h *Harness) Figure10() (*stats.Table, error) {
+func (h *Harness) Figure10(ctx context.Context) (*stats.Table, error) {
 	modes := []fusion.Mode{
 		fusion.ModeRISCVFusion, fusion.ModeCSFSBR, fusion.ModeRISCVFusionPP,
 		fusion.ModeHelios, fusion.ModeOracle,
@@ -267,13 +268,13 @@ func (h *Harness) Figure10() (*stats.Table, error) {
 	t := stats.NewTable("Figure 10: IPC normalized to NoFusion", headers...)
 	norm := make(map[fusion.Mode][]float64)
 	for _, name := range h.Workloads {
-		base, err := h.Suite.Get(name, fusion.ModeNoFusion)
+		base, err := h.Suite.Get(ctx, name, fusion.ModeNoFusion)
 		if err != nil {
 			return nil, err
 		}
 		row := []string{name}
 		for _, m := range modes {
-			r, err := h.Suite.Get(name, m)
+			r, err := h.Suite.Get(ctx, name, m)
 			if err != nil {
 				return nil, err
 			}
@@ -292,7 +293,7 @@ func (h *Harness) Figure10() (*stats.Table, error) {
 }
 
 // Table2 dumps the simulated machine configuration.
-func (h *Harness) Table2() (*stats.Table, error) {
+func (h *Harness) Table2(ctx context.Context) (*stats.Table, error) {
 	cfg := ooo.DefaultConfig(fusion.ModeHelios)
 	t := stats.NewTable("Table II: simulated machine", "parameter", "value")
 	rows := [][2]string{
@@ -326,13 +327,13 @@ func (h *Harness) Table2() (*stats.Table, error) {
 
 // Table3 reports the Helios fusion predictor's coverage, accuracy and
 // MPKI per application.
-func (h *Harness) Table3() (*stats.Table, error) {
+func (h *Harness) Table3(ctx context.Context) (*stats.Table, error) {
 	t := stats.NewTable(
 		"Table III: Helios fusion predictor coverage, accuracy and MPKI",
 		"benchmark", "coverage", "accuracy", "mpki")
 	var cov, acc, mpki []float64
 	for _, name := range h.Workloads {
-		r, err := h.Suite.Get(name, fusion.ModeHelios)
+		r, err := h.Suite.Get(ctx, name, fusion.ModeHelios)
 		if err != nil {
 			return nil, err
 		}
@@ -349,7 +350,7 @@ func (h *Harness) Table3() (*stats.Table, error) {
 }
 
 // TableCost reports the Helios storage budget (Sections IV-B7 and IV-C).
-func (h *Harness) TableCost() (*stats.Table, error) {
+func (h *Harness) TableCost(ctx context.Context) (*stats.Table, error) {
 	c := helios.Cost(helios.PaperParams())
 	t := stats.NewTable("Helios storage budget", "structure", "bits")
 	items := []struct {
@@ -393,18 +394,19 @@ func (h *Harness) MetricsTable() *stats.Table {
 	t.AddRow("replays", fmt.Sprint(m.Replays))
 	t.AddRow("pipeline runs", fmt.Sprint(m.PipelineRuns))
 	t.AddRow("deduplicated concurrent runs", fmt.Sprint(m.DedupedRuns))
+	t.AddRow("live fallbacks (degraded replays)", fmt.Sprint(m.LiveFallbacks))
 	t.AddRow("emulation wall time", m.EmuTime.Round(time.Millisecond).String())
 	t.AddRow("pipeline wall time", m.SimTime.Round(time.Millisecond).String())
 	return t
 }
 
 // RunAll executes every experiment and returns the tables keyed by id.
-func (h *Harness) RunAll() (map[string]*stats.Table, error) {
+func (h *Harness) RunAll(ctx context.Context) (map[string]*stats.Table, error) {
 	// Warm the cache in parallel for the modes the experiments need.
-	h.Suite.Prefetch(h.Workloads, fusion.Modes)
+	h.Suite.Prefetch(ctx, h.Workloads, fusion.Modes)
 	out := make(map[string]*stats.Table)
 	for _, id := range IDs() {
-		tbl, err := h.Run(id)
+		tbl, err := h.Run(ctx, id)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", id, err)
 		}

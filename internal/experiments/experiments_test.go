@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"strconv"
 	"strings"
 	"testing"
@@ -20,7 +22,7 @@ func smallHarness() *Harness {
 func TestIDsDispatch(t *testing.T) {
 	h := smallHarness()
 	for _, id := range IDs() {
-		tbl, err := h.Run(id)
+		tbl, err := h.Run(context.Background(), id)
 		if err != nil {
 			t.Fatalf("%s: %v", id, err)
 		}
@@ -28,14 +30,14 @@ func TestIDsDispatch(t *testing.T) {
 			t.Errorf("%s: empty table", id)
 		}
 	}
-	if _, err := h.Run("nope"); err == nil {
+	if _, err := h.Run(context.Background(), "nope"); err == nil {
 		t.Error("unknown id must error")
 	}
 }
 
 func TestFigure10Shape(t *testing.T) {
 	h := smallHarness()
-	tbl, err := h.Figure10()
+	tbl, err := h.Figure10(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,7 +78,7 @@ func TestFigure10Shape(t *testing.T) {
 
 func TestTable3Sanity(t *testing.T) {
 	h := smallHarness()
-	tbl, err := h.Table3()
+	tbl, err := h.Table3(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +100,7 @@ func TestTable3Sanity(t *testing.T) {
 func TestFigure2MemoryDominates(t *testing.T) {
 	h := New(25_000)
 	h.Workloads = []string{"xz", "typeset", "mcf", "fft"}
-	tbl, err := h.Figure2()
+	tbl, err := h.Figure2(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +116,7 @@ func TestFigure2MemoryDominates(t *testing.T) {
 
 func TestFigure4CategoriesAddUp(t *testing.T) {
 	h := smallHarness()
-	tbl, err := h.Figure4()
+	tbl, err := h.Figure4(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,7 +127,7 @@ func TestFigure4CategoriesAddUp(t *testing.T) {
 
 func TestFigure8OracleCoversHelios(t *testing.T) {
 	h := smallHarness()
-	tbl, err := h.Figure8()
+	tbl, err := h.Figure8(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,7 +150,7 @@ func TestFigure8OracleCoversHelios(t *testing.T) {
 
 func TestTableCostMatchesPaper(t *testing.T) {
 	h := smallHarness()
-	tbl, err := h.TableCost()
+	tbl, err := h.TableCost(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,7 +170,7 @@ func TestRunAllSubset(t *testing.T) {
 	}
 	h := New(15_000)
 	h.Workloads = []string{"crc32", "xz"}
-	tables, err := h.RunAll()
+	tables, err := h.RunAll(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -188,7 +190,7 @@ func TestRunAllSubset(t *testing.T) {
 func TestFigure10RecordsOncePerWorkload(t *testing.T) {
 	h := New(15_000)
 	h.Workloads = []string{"crc32", "sha", "xz"}
-	if _, err := h.Figure10(); err != nil {
+	if _, err := h.Figure10(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	m := h.Suite.Metrics()

@@ -102,6 +102,8 @@ func (p *Pipeline) freePhys(preg int32) {
 
 // accountCommit updates the statistics for one retiring µ-op.
 func (p *Pipeline) accountCommit(u *pUop) {
+	p.recentCommits[p.recentCount%uint64(len(p.recentCommits))] = u.seq
+	p.recentCount++
 	p.st.CommittedUops++
 	p.st.CommittedInsts += u.archInstCount()
 	if u.r.MemSize != 0 {

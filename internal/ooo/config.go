@@ -67,6 +67,13 @@ type Config struct {
 	// Stream bound: stop after this many committed µ-ops (0 = run to
 	// stream end).
 	MaxUops uint64
+
+	// Chaos fault-injection hooks (zero = disabled; driven by
+	// internal/chaos). ChaosFlushInterval forces a pipeline flush from a
+	// randomly chosen live µ-op every that many cycles; ChaosSeed makes
+	// the choice deterministic.
+	ChaosFlushInterval uint64
+	ChaosSeed          int64
 }
 
 // DefaultConfig returns the Table II machine: 8-wide fetch/decode feeding

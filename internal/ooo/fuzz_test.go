@@ -133,6 +133,45 @@ func TestFuzzAllModesAgree(t *testing.T) {
 	}
 }
 
+// FuzzPipelineModesAgree is the native-fuzzing form of the differential
+// check: the fuzzer drives the program generator's seed and body length,
+// and every fusion configuration must commit exactly the instruction
+// count the functional emulator retires, with invariants checked
+// throughout. Run with: go test -fuzz=FuzzPipelineModesAgree ./internal/ooo
+func FuzzPipelineModesAgree(f *testing.F) {
+	f.Add(int64(17), uint8(24))
+	f.Add(int64(7919), uint8(48))
+	f.Add(int64(-3), uint8(1))
+	f.Add(int64(99), uint8(255))
+	f.Fuzz(func(t *testing.T, seed int64, bodyLen uint8) {
+		r := rand.New(rand.NewSource(seed))
+		src := genProgram(r, 1+int(bodyLen)%64)
+		prog, err := asm.Assemble(src)
+		if err != nil {
+			t.Fatalf("generator produced an unassemblable program: %v", err)
+		}
+		ref := emu.New(prog)
+		want, err := ref.Run(3_000_000)
+		if err != nil {
+			t.Fatalf("emulate: %v", err)
+		}
+		if !ref.Halted() {
+			t.Fatal("generated program did not halt")
+		}
+		for _, mode := range fusion.Modes {
+			p := New(DefaultConfig(mode), trace.NewLive(emu.New(prog), 0))
+			st, err := p.RunChecked(256)
+			if err != nil {
+				t.Fatalf("mode %v: %v", mode, err)
+			}
+			if st.CommittedInsts != want {
+				t.Errorf("mode %v committed %d instructions, functional retired %d",
+					mode, st.CommittedInsts, want)
+			}
+		}
+	})
+}
+
 // TestFuzzSmallMachines repeats the differential check on deliberately
 // tiny machines, where every structural stall and flush path is hammered.
 func TestFuzzSmallMachines(t *testing.T) {

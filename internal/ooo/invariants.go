@@ -1,6 +1,7 @@
 package ooo
 
 import (
+	"context"
 	"fmt"
 
 	"helios/internal/uop"
@@ -108,44 +109,17 @@ func (p *Pipeline) CheckInvariants() error {
 }
 
 // RunChecked is Run with CheckInvariants called every interval cycles;
-// it is the harness used by the failure-injection tests.
+// it is the harness used by the failure-injection tests. A violation
+// surfaces as a FailInvariant SimError with the snapshot attached.
 func (p *Pipeline) RunChecked(interval uint64) (*Stats, error) {
+	return p.RunCheckedContext(context.Background(), interval)
+}
+
+// RunCheckedContext combines invariant sweeps with cooperative
+// cancellation; it is the chaos driver's entry point.
+func (p *Pipeline) RunCheckedContext(ctx context.Context, interval uint64) (*Stats, error) {
 	if interval == 0 {
 		interval = 1
 	}
-	lastCommitted := uint64(0)
-	lastCommit := uint64(0)
-	for {
-		if p.cfg.MaxUops > 0 && p.st.CommittedInsts >= p.cfg.MaxUops {
-			break
-		}
-		if p.streamDone && p.rob.len() == 0 && p.aq.len() == 0 &&
-			int(p.nextFetch-p.windowBase) >= len(p.window) && len(p.sq) == 0 {
-			break
-		}
-		p.cycle++
-		p.st.Cycles++
-		p.commitStage()
-		p.drainStores()
-		p.writebackStage()
-		p.issueStage()
-		p.renameDispatchStage()
-		p.frontendStage()
-		if p.cycle%interval == 0 {
-			if err := p.CheckInvariants(); err != nil {
-				return &p.st, fmt.Errorf("cycle %d: %w", p.cycle, err)
-			}
-		}
-		if p.st.CommittedInsts != lastCommitted {
-			lastCommitted = p.st.CommittedInsts
-			lastCommit = p.cycle
-		} else if p.cycle-lastCommit > 100000 {
-			return &p.st, fmt.Errorf("ooo: no commit for 100000 cycles at cycle %d (%s)",
-				p.cycle, p.describeROBHead())
-		}
-	}
-	if p.streamErr != nil {
-		return &p.st, fmt.Errorf("ooo: %w", p.streamErr)
-	}
-	return &p.st, nil
+	return p.run(ctx, interval)
 }

@@ -1,13 +1,16 @@
 package ooo
 
 import (
+	"context"
 	"fmt"
+	"math/rand"
 
 	"helios/internal/branch"
 	"helios/internal/cache"
 	"helios/internal/emu"
 	"helios/internal/fusion"
 	"helios/internal/helios"
+	"helios/internal/isa"
 	"helios/internal/memdep"
 	"helios/internal/trace"
 )
@@ -25,6 +28,8 @@ type Pipeline struct {
 	window     []emu.Retired // fetched records not yet committed
 	windowBase uint64        // seq of window[0]
 	nextFetch  uint64        // next seq to decode
+	srcNextSeq uint64        // expected seq of the next source record
+	srcStarted bool          // first record pulled (srcNextSeq valid)
 
 	// Frontend.
 	ghr           branch.History
@@ -75,6 +80,13 @@ type Pipeline struct {
 	// Store buffer drain port state.
 	drainPortFree uint64
 	lastDrainDone uint64
+
+	// Crash-dump breadcrumbs: ring of the last committed seqs.
+	recentCommits [8]uint64
+	recentCount   uint64
+
+	// Chaos fault injection (cfg.ChaosFlushInterval > 0).
+	chaosRand *rand.Rand
 
 	cycle uint64
 	st    Stats
@@ -128,12 +140,46 @@ func (p *Pipeline) Stats() *Stats { return &p.st }
 // Mem returns the cache hierarchy (for cache stats).
 func (p *Pipeline) Mem() *cache.Hierarchy { return p.mem }
 
+// watchdogInterval is the forward-progress bound: if no instruction
+// commits for this many cycles, the run is declared hung and fails with
+// a FailWatchdog SimError instead of spinning forever.
+const watchdogInterval = 100_000
+
+// ctxCheckInterval is how often (in cycles) the run loop polls its
+// context — frequent enough that cancellation lands well within one
+// watchdog interval, rare enough to stay off the per-cycle hot path.
+const ctxCheckInterval = 1024
+
 // Run simulates until the stream is exhausted and the pipeline drains, or
 // cfg.MaxUops architectural instructions have committed. It returns the
 // final statistics.
 func (p *Pipeline) Run() (*Stats, error) {
-	lastCommit := uint64(0)
-	lastCommitted := uint64(0)
+	return p.run(context.Background(), 0)
+}
+
+// RunContext is Run with cooperative cancellation: the cycle loop polls
+// ctx and aborts with a FailContext SimError (unwrapping to ctx.Err())
+// within ctxCheckInterval cycles of cancellation or deadline expiry.
+func (p *Pipeline) RunContext(ctx context.Context) (*Stats, error) {
+	return p.run(ctx, 0)
+}
+
+// run is the single simulation loop behind Run, RunContext and
+// RunChecked. Every abnormal exit — watchdog, stage panic, stream fault,
+// corrupt record, invariant violation, cancellation — is returned as a
+// *SimError with a pipeline snapshot attached; run never panics and
+// never hangs.
+func (p *Pipeline) run(ctx context.Context, checkEvery uint64) (st *Stats, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			st, err = &p.st, p.panicFailure(r)
+		}
+	}()
+	if p.cfg.ChaosFlushInterval > 0 && p.chaosRand == nil {
+		p.chaosRand = rand.New(rand.NewSource(p.cfg.ChaosSeed))
+	}
+	lastCommitted := p.st.CommittedInsts
+	lastCommit := p.cycle
 	for {
 		if p.cfg.MaxUops > 0 && p.st.CommittedInsts >= p.cfg.MaxUops {
 			break
@@ -141,6 +187,12 @@ func (p *Pipeline) Run() (*Stats, error) {
 		if p.streamDone && p.rob.len() == 0 && p.aq.len() == 0 &&
 			int(p.nextFetch-p.windowBase) >= len(p.window) && len(p.sq) == 0 {
 			break
+		}
+		if p.cycle%ctxCheckInterval == 0 {
+			if cerr := ctx.Err(); cerr != nil {
+				return &p.st, p.failure(FailContext,
+					fmt.Sprintf("run aborted at cycle %d", p.cycle), cerr)
+			}
 		}
 		p.cycle++
 		p.st.Cycles++
@@ -152,23 +204,40 @@ func (p *Pipeline) Run() (*Stats, error) {
 		p.renameDispatchStage()
 		p.frontendStage()
 
+		// Chaos hook: force a flush from a random live µ-op. The flush
+		// machinery must preserve architectural results regardless.
+		if p.chaosRand != nil && p.cycle%p.cfg.ChaosFlushInterval == 0 && p.rob.len() > 0 {
+			p.flushFrom(p.rob.at(p.chaosRand.Intn(p.rob.len())).seq)
+			p.st.ChaosFlushes++
+		}
+
+		if checkEvery > 0 && p.cycle%checkEvery == 0 {
+			if ierr := p.CheckInvariants(); ierr != nil {
+				return &p.st, p.failure(FailInvariant,
+					fmt.Sprintf("violated at cycle %d", p.cycle), ierr)
+			}
+		}
+
 		// Watchdog: the model must always make forward progress.
 		if p.st.CommittedInsts != lastCommitted {
 			lastCommitted = p.st.CommittedInsts
 			lastCommit = p.cycle
-		} else if p.cycle-lastCommit > 100000 {
-			return &p.st, fmt.Errorf("ooo: no commit for 100000 cycles at cycle %d (rob=%d aq=%d iq=%d lq=%d sq=%d head=%v)",
-				p.cycle, p.rob.len(), p.aq.len(), len(p.iq), len(p.lq), len(p.sq), p.describeROBHead())
+		} else if p.cycle-lastCommit > watchdogInterval {
+			return &p.st, p.failure(FailWatchdog,
+				fmt.Sprintf("no commit for %d cycles", watchdogInterval), nil)
 		}
 	}
 	if p.streamErr != nil {
-		return &p.st, fmt.Errorf("ooo: %w", p.streamErr)
+		if se, ok := p.streamErr.(*SimError); ok {
+			return &p.st, se
+		}
+		return &p.st, p.failure(FailStream, "committed stream ended on a fault", p.streamErr)
 	}
 	return &p.st, nil
 }
 
-func (p *Pipeline) describeROBHead() string {
-	u := p.rob.front()
+// describeUop renders a µ-op for crash dumps and watchdog messages.
+func describeUop(u *pUop) string {
 	if u == nil {
 		return "<empty>"
 	}
@@ -199,6 +268,9 @@ func (p *Pipeline) span(from, to uint64) []emu.Retired {
 // fetchRecord pulls the record for seq into the window, reading from the
 // source as needed. Returns nil when the stream is exhausted first; if it
 // ended on an emulation fault, the fault is latched for Run to surface.
+// Each record is validated on the way in: a corrupt or reordered stream
+// ends the run with a FailCorrupt SimError instead of corrupting the
+// window indexing (or panicking deeper in the pipeline).
 func (p *Pipeline) fetchRecord(seq uint64) *emu.Retired {
 	for uint64(len(p.window))+p.windowBase <= seq && !p.streamDone {
 		r, ok := p.src.Next()
@@ -207,12 +279,40 @@ func (p *Pipeline) fetchRecord(seq uint64) *emu.Retired {
 			p.streamErr = p.src.Err()
 			break
 		}
+		if verr := p.validateRecord(r); verr != nil {
+			p.streamDone = true
+			p.streamErr = p.failure(FailCorrupt, "source handed a malformed record", verr)
+			break
+		}
 		if len(p.window) == 0 {
 			p.windowBase = r.Seq
 		}
 		p.window = append(p.window, r)
 	}
 	return p.record(seq)
+}
+
+// validateRecord rejects records the pipeline cannot safely simulate:
+// out-of-sequence streams (which would corrupt window indexing) and
+// field values that would index out of the machine's tables. This is the
+// trust boundary for hostile trace files and faulty sources.
+func (p *Pipeline) validateRecord(r emu.Retired) error {
+	if p.srcStarted && r.Seq != p.srcNextSeq {
+		return fmt.Errorf("record out of sequence: seq %d, want %d", r.Seq, p.srcNextSeq)
+	}
+	if int(r.Inst.Op) >= isa.NumOpcodes {
+		return fmt.Errorf("seq %d: opcode %d out of range", r.Seq, r.Inst.Op)
+	}
+	if int(r.Inst.Rd) >= isa.NumRegs || int(r.Inst.Rs1) >= isa.NumRegs || int(r.Inst.Rs2) >= isa.NumRegs {
+		return fmt.Errorf("seq %d: register out of range (rd=%d rs1=%d rs2=%d)",
+			r.Seq, r.Inst.Rd, r.Inst.Rs1, r.Inst.Rs2)
+	}
+	if r.MemSize > 8 {
+		return fmt.Errorf("seq %d: impossible access size %d", r.Seq, r.MemSize)
+	}
+	p.srcStarted = true
+	p.srcNextSeq = r.Seq + 1
+	return nil
 }
 
 // pruneWindow drops records older than the oldest seq that can still be

@@ -49,7 +49,8 @@ type Stats struct {
 	StallLQ       uint64
 	StallSQ       uint64
 
-	Flushes uint64
+	Flushes      uint64
+	ChaosFlushes uint64 // forced flushes injected by the chaos hook
 
 	// Debug: cumulative decode-to-resolve latency of mispredicted branches.
 	MispredictResolveLat uint64

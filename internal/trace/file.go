@@ -31,6 +31,29 @@ const FileVersion = 1
 
 const recordSize = 55
 
+// Hostile-header bounds: a trace header must stay within these before a
+// single byte of it is trusted for allocation. Real workload names are a
+// dozen bytes; real recordings are millions of records, not 2^40.
+const (
+	maxNameLen     = 1 << 12
+	maxFileRecords = 1 << 40
+)
+
+// FrameOffsets returns every frame boundary of the uncompressed payload
+// of a trace file with the given name length and record count: after the
+// magic, version, name length, name, bound and count fields, then after
+// each record. Fault-injection tooling (internal/chaos) truncates the
+// payload at each of these offsets to prove ReadFrom fails loudly at
+// every one.
+func FrameOffsets(nameLen, count int) []int {
+	offs := []int{4, 6, 8, 8 + nameLen, 16 + nameLen, 24 + nameLen}
+	base := 24 + nameLen
+	for i := 1; i <= count; i++ {
+		offs = append(offs, base+i*recordSize)
+	}
+	return offs
+}
+
 // flag bits in the record's flags byte.
 const flagTaken = 1 << 0
 
@@ -96,7 +119,10 @@ func (r *Recording) WriteTo(w io.Writer) (int64, error) {
 	hdr := make([]byte, 0, 32+len(r.Name))
 	hdr = append(hdr, fileMagic[:]...)
 	hdr = binary.LittleEndian.AppendUint16(hdr, FileVersion)
-	if len(r.Name) > 0xffff {
+	if len(r.Name) == 0 {
+		return 0, fmt.Errorf("trace: recording has no workload name")
+	}
+	if len(r.Name) > maxNameLen {
 		return 0, fmt.Errorf("trace: workload name too long (%d bytes)", len(r.Name))
 	}
 	hdr = binary.LittleEndian.AppendUint16(hdr, uint16(len(r.Name)))
@@ -121,13 +147,19 @@ func (r *Recording) WriteTo(w io.Writer) (int64, error) {
 }
 
 // ReadFrom deserializes a recording previously written by WriteTo. It
-// fails loudly on non-trace input, version mismatches and truncation.
+// fails loudly on non-trace input, version mismatches, hostile headers
+// (absurd name lengths or record counts), truncation, trailing garbage
+// and payload corruption (the gzip CRC is verified before the recording
+// is returned).
 func ReadFrom(rd io.Reader) (*Recording, error) {
 	zr, err := gzip.NewReader(bufio.NewReader(rd))
 	if err != nil {
 		return nil, fmt.Errorf("trace: not a trace file (gzip: %w)", err)
 	}
 	defer zr.Close()
+	// A trace file is exactly one gzip stream: anything after it is not
+	// ours, and single-stream mode makes the final EOF verify the CRC.
+	zr.Multistream(false)
 
 	var fixed [8]byte // magic + version + namelen
 	if _, err := io.ReadFull(zr, fixed[:]); err != nil {
@@ -139,7 +171,14 @@ func ReadFrom(rd io.Reader) (*Recording, error) {
 	if v := binary.LittleEndian.Uint16(fixed[4:]); v != FileVersion {
 		return nil, fmt.Errorf("trace: unsupported file version %d (want %d)", v, FileVersion)
 	}
-	name := make([]byte, binary.LittleEndian.Uint16(fixed[6:]))
+	nameLen := binary.LittleEndian.Uint16(fixed[6:])
+	if nameLen == 0 {
+		return nil, fmt.Errorf("trace: empty workload name")
+	}
+	if int(nameLen) > maxNameLen {
+		return nil, fmt.Errorf("trace: implausible workload name length %d", nameLen)
+	}
+	name := make([]byte, nameLen)
 	if _, err := io.ReadFull(zr, name); err != nil {
 		return nil, fmt.Errorf("trace: truncated header: %w", err)
 	}
@@ -149,6 +188,9 @@ func ReadFrom(rd io.Reader) (*Recording, error) {
 	}
 	bound := binary.LittleEndian.Uint64(tail[0:])
 	count := binary.LittleEndian.Uint64(tail[8:])
+	if count > maxFileRecords {
+		return nil, fmt.Errorf("trace: implausible record count %d", count)
+	}
 
 	// Grow incrementally: a corrupt count must not pre-allocate the world.
 	recs := make([]emu.Retired, 0, min(count, 1<<20))
@@ -161,6 +203,16 @@ func ReadFrom(rd io.Reader) (*Recording, error) {
 			return nil, fmt.Errorf("trace: record %d: %w", i, err)
 		}
 		recs = append(recs, decodeRecord(&buf))
+	}
+	// Drain to the end of the gzip stream: this forces the CRC/length
+	// trailer check (catching mid-stream corruption) and rejects files
+	// whose payload holds more than the header's count promised.
+	var extra [1]byte
+	if n, err := io.ReadFull(zr, extra[:]); n != 0 || !errors.Is(err, io.EOF) {
+		if n != 0 {
+			return nil, fmt.Errorf("trace: trailing data after %d records", count)
+		}
+		return nil, fmt.Errorf("trace: corrupt stream trailer: %w", err)
 	}
 	return &Recording{Name: string(name), MaxInsts: bound, recs: recs}, nil
 }

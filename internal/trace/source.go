@@ -14,6 +14,7 @@
 package trace
 
 import (
+	"context"
 	"fmt"
 
 	"helios/internal/emu"
@@ -98,4 +99,45 @@ func Limit(src Source, maxInsts uint64) Source {
 		return src
 	}
 	return &limited{src: src, n: maxInsts}
+}
+
+// ctxCheckStride is how many records a ctxSource yields between context
+// polls: frequent enough that a long emulation cancels promptly, rare
+// enough to keep the poll off the per-record hot path.
+const ctxCheckStride = 1024
+
+// ctxSource ends the stream with ctx.Err() once ctx is done, so a long
+// recording emulation honors cancellation and deadlines.
+type ctxSource struct {
+	ctx context.Context
+	src Source
+	n   uint64
+	err error
+}
+
+func (s *ctxSource) Next() (emu.Retired, bool) {
+	if s.err != nil {
+		return emu.Retired{}, false
+	}
+	if s.n%ctxCheckStride == 0 {
+		if err := s.ctx.Err(); err != nil {
+			s.err = err
+			return emu.Retired{}, false
+		}
+	}
+	s.n++
+	return s.src.Next()
+}
+
+func (s *ctxSource) Err() error {
+	if s.err != nil {
+		return s.err
+	}
+	return s.src.Err()
+}
+
+// WithContext bounds src by ctx: once ctx is cancelled or past its
+// deadline the stream ends and Err reports ctx.Err().
+func WithContext(ctx context.Context, src Source) Source {
+	return &ctxSource{ctx: ctx, src: src}
 }
