@@ -1,0 +1,36 @@
+# Mirrors .github/workflows/ci.yml so local runs and CI agree.
+
+GO ?= go
+
+.PHONY: all build lint test race fuzz-short experiments-smoke
+
+all: build lint test
+
+build:
+	$(GO) build ./...
+
+# lint = the CI lint job: go vet, the repo's own heliosvet analyzer suite,
+# and staticcheck if it is installed (CI installs it; offline dev boxes
+# may not have it, so it is soft here and hard in CI).
+lint:
+	$(GO) vet ./...
+	$(GO) run ./cmd/heliosvet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI runs it)"; \
+	fi
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Matches the CI fuzz job budgets.
+fuzz-short:
+	$(GO) test -fuzz=FuzzReadFrom -fuzztime=30s ./internal/trace
+	$(GO) test -fuzz=FuzzPipelineModesAgree -fuzztime=30s ./internal/ooo
+
+experiments-smoke:
+	$(GO) run ./cmd/experiments -id fig2 -insts 2000 -metrics

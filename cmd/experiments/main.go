@@ -28,7 +28,8 @@ func main() {
 		insts    = flag.Uint64("insts", 0, "instruction budget per run (0 = workload defaults)")
 		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		worklist = flag.String("workloads", "", "comma-separated workload subset (default: all)")
-		metrics  = flag.Bool("metrics", false, "print record/replay trace-layer counters after the tables")
+		metrics  = flag.Bool("metrics", false, "print record/replay trace-layer counters after the tables (deterministic: byte-identical across identical runs)")
+		walltime = flag.Bool("walltime", false, "also print wall-time breakdown to stderr (nondeterministic)")
 		timeout  = flag.Duration("timeout", 0, "abort the whole suite after this wall time (0 = no limit)")
 	)
 	flag.Parse()
@@ -62,11 +63,20 @@ func main() {
 		}
 	}
 
-	if *id != "" {
-		emit(*id)
+	finish := func() {
 		if *metrics {
 			fmt.Printf("%s\n", h.MetricsTable())
 		}
+		if *walltime {
+			// Wall times are nondeterministic by nature; stderr keeps
+			// stdout byte-stable for diffing identical runs.
+			fmt.Fprintf(os.Stderr, "%s\n", h.WallTimeTable())
+		}
+	}
+
+	if *id != "" {
+		emit(*id)
+		finish()
 		return
 	}
 	// Warm the cache in parallel before printing everything.
@@ -74,7 +84,5 @@ func main() {
 	for _, idName := range experiments.IDs() {
 		emit(idName)
 	}
-	if *metrics {
-		fmt.Printf("%s\n", h.MetricsTable())
-	}
+	finish()
 }

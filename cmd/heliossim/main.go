@@ -12,6 +12,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -36,6 +37,7 @@ func main() {
 		traceOut = flag.String("trace-out", "", "record the committed stream to this file (gzip-framed binary)")
 		traceIn  = flag.String("trace-in", "", "simulate a previously recorded stream instead of emulating")
 		timeout  = flag.Duration("timeout", 0, "abort the whole run after this wall time (0 = no limit)")
+		jsonOut  = flag.Bool("json", false, "dump the full statistics as JSON instead of the human-readable report")
 	)
 	flag.Parse()
 
@@ -127,7 +129,28 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if *jsonOut {
+		printJSON(r)
+		return
+	}
 	printResult(r)
+}
+
+// printJSON dumps the complete statistics surface: every Stats counter
+// (the reflection round-trip test in internal/ooo pins the field set)
+// plus the run identity. Output is deterministic for a given trace and
+// configuration, so two runs can be diffed byte-for-byte.
+func printJSON(r *core.Result) {
+	out := struct {
+		Workload string    `json:"workload"`
+		Mode     string    `json:"mode"`
+		Stats    ooo.Stats `json:"stats"`
+	}{r.Workload, r.Mode.String(), r.Stats}
+	b, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s\n", b)
 }
 
 // fatal prints the error and exits. If the failure is a structured

@@ -1,0 +1,85 @@
+// Command heliosvet is the repository's domain-specific static-analysis
+// driver: a multichecker over the internal/lint analyzer suite, which
+// enforces the simulator's determinism, stats-completeness and config
+// hygiene conventions at lint time (see DESIGN.md §10 for the catalog).
+//
+// Usage:
+//
+//	heliosvet ./...              # analyze the whole module
+//	heliosvet -list              # print the analyzer catalog
+//	heliosvet -github ./...      # also emit GitHub ::error annotations
+//
+// Exit status is 1 when any finding is reported, so CI can gate on it.
+// Under GitHub Actions (GITHUB_ACTIONS=true) annotations are emitted
+// automatically, making each violation visible inline in the PR diff.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"helios/internal/lint"
+)
+
+func main() {
+	var (
+		github = flag.Bool("github", false, "emit GitHub Actions ::error annotations (implied by GITHUB_ACTIONS=true)")
+		list   = flag.Bool("list", false, "print the analyzer catalog and exit")
+	)
+	flag.Parse()
+
+	analyzers := lint.Registry()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	pkgs, err := lint.Load(wd, patterns...)
+	if err != nil {
+		fatal(err)
+	}
+	diags, err := lint.RunAll(analyzers, pkgs)
+	if err != nil {
+		fatal(err)
+	}
+	annotate := *github || os.Getenv("GITHUB_ACTIONS") == "true"
+	for _, d := range diags {
+		rel := relTo(wd, d.Pos.Filename)
+		fmt.Printf("%s:%d:%d: %s: %s\n", rel, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+		if annotate {
+			// GitHub annotation values must stay on one line.
+			fmt.Printf("::error file=%s,line=%d,col=%d,title=heliosvet %s::%s\n",
+				rel, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+		}
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "heliosvet: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+// relTo shortens absolute diagnostic paths for readable output and
+// annotation file= values.
+func relTo(wd, path string) string {
+	if rel, err := filepath.Rel(wd, path); err == nil && !filepath.IsAbs(rel) {
+		return rel
+	}
+	return path
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "heliosvet:", err)
+	os.Exit(1)
+}

@@ -40,6 +40,15 @@ func RandomConfig(rng *rand.Rand, mode fusion.Mode) ooo.Config {
 	cfg.StoreDrainPerCycle = 1 + rng.Intn(2)
 	cfg.MaxNCSFNest = 1 + rng.Intn(4)
 
+	// Predictor geometry: architectural results must not depend on
+	// prediction quality, only cycle counts do.
+	cfg.TAGELogSize = uint(7 + rng.Intn(6))
+	cfg.BTBSets = 1 << (6 + rng.Intn(5))
+	cfg.BTBWays = 1 + rng.Intn(4)
+	cfg.RASSize = 8 + rng.Intn(57)
+	cfg.StoreSetLogSize = uint(8 + rng.Intn(5))
+	cfg.StoreSetLogSets = uint(5 + rng.Intn(3))
+
 	cfg.Cache = randomCache(rng)
 	return cfg
 }

@@ -28,6 +28,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 
@@ -157,6 +158,21 @@ func (s *Suite) Metrics() Metrics {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.metrics
+}
+
+// CacheSnapshot returns the cached result keys as sorted
+// "workload/mode" strings. The result cache is map-keyed, so the
+// iteration here is explicitly sorted — `experiments -metrics` output
+// and crash-dump context must be byte-stable across identical runs.
+func (s *Suite) CacheSnapshot() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	keys := make([]string, 0, len(s.cache))
+	for k := range s.cache {
+		keys = append(keys, k.workload+"/"+k.mode.String())
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // budget returns the effective per-run instruction bound for w.

@@ -385,7 +385,10 @@ func (h *Harness) TableCost(ctx context.Context) (*stats.Table, error) {
 
 // MetricsTable reports the suite's record-once/replay-many observability
 // counters: functional emulations performed vs replays served from the
-// trace cache, and where the wall time went.
+// trace cache, plus a sorted snapshot of the result cache. Every row is
+// a deterministic function of the work requested — wall times are
+// deliberately excluded (see WallTimeTable) so two identical
+// `experiments -metrics` runs produce byte-identical output.
 func (h *Harness) MetricsTable() *stats.Table {
 	m := h.Suite.Metrics()
 	t := stats.NewTable("Trace layer: record-once/replay-many counters", "counter", "value")
@@ -395,8 +398,23 @@ func (h *Harness) MetricsTable() *stats.Table {
 	t.AddRow("pipeline runs", fmt.Sprint(m.PipelineRuns))
 	t.AddRow("deduplicated concurrent runs", fmt.Sprint(m.DedupedRuns))
 	t.AddRow("live fallbacks (degraded replays)", fmt.Sprint(m.LiveFallbacks))
-	t.AddRow("emulation wall time", m.EmuTime.Round(time.Millisecond).String())
-	t.AddRow("pipeline wall time", m.SimTime.Round(time.Millisecond).String())
+	cached := h.Suite.CacheSnapshot()
+	t.AddRow("cached results", fmt.Sprint(len(cached)))
+	for i, key := range cached {
+		t.AddRow(fmt.Sprintf("cached[%d]", i), key)
+	}
+	return t
+}
+
+// WallTimeTable reports where the wall time went. Wall time is
+// inherently nondeterministic, so it lives in its own table that
+// cmd/experiments only prints on request (and to stderr), keeping the
+// default -metrics surface byte-stable.
+func (h *Harness) WallTimeTable() *stats.Table {
+	m := h.Suite.Metrics()
+	t := stats.NewTable("Trace layer: wall time (nondeterministic)", "phase", "time")
+	t.AddRow("functional emulation", m.EmuTime.Round(time.Millisecond).String())
+	t.AddRow("cycle-level simulation", m.SimTime.Round(time.Millisecond).String())
 	return t
 }
 

@@ -1,8 +1,11 @@
 package fusion
 
 import (
+	"fmt"
+
 	"helios/internal/emu"
 	"helios/internal/trace"
+	"helios/internal/uop"
 )
 
 // TraceStats tabulates the fusion potential of a committed instruction
@@ -38,6 +41,39 @@ type TraceStats struct {
 
 // PairsTotal returns all pairs found (consecutive + non-consecutive).
 func (s *TraceStats) PairsTotal() uint64 { return s.CSFPairs + s.NCSFPairs }
+
+// Rows enumerates every counter as (name, value) pairs in declaration
+// order — the dump surface the statscomplete analyzer audits, so a
+// counter added to TraceStats without a row here fails lint.
+func (s *TraceStats) Rows() [][2]string {
+	u := func(v uint64) string { return fmt.Sprint(v) }
+	rows := [][2]string{
+		{"total_uops", u(s.TotalUops)},
+		{"mem_uops", u(s.MemUops)},
+		{"mem_pair_uops", u(s.MemPairUops)},
+		{"other_idiom_uops", u(s.OtherIdiomUops)},
+		{"csf_pairs", u(s.CSFPairs)},
+	}
+	for i, v := range s.CSFByCategory {
+		rows = append(rows, [2]string{
+			fmt.Sprintf("csf_by_category[%s]", uop.AddrCategory(i)), u(v)})
+	}
+	rows = append(rows, [2]string{"ncsf_pairs", u(s.NCSFPairs)})
+	for i, v := range s.NCSFByCategory {
+		rows = append(rows, [2]string{
+			fmt.Sprintf("ncsf_by_category[%s]", uop.AddrCategory(i)), u(v)})
+	}
+	return append(rows, [][2]string{
+		{"csf_same_base", u(s.CSFSameBase)},
+		{"csf_diff_base", u(s.CSFDiffBase)},
+		{"ncsf_same_base", u(s.NCSFSameBase)},
+		{"ncsf_diff_base", u(s.NCSFDiffBase)},
+		{"csf_asymmetric", u(s.CSFAsymmetric)},
+		{"ncsf_asymmetric", u(s.NCSFAsymmetric)},
+		{"ncsf_with_reg_hazard", u(s.NCSFWithRegHazard)},
+		{"distance_sum", u(s.DistanceSum)},
+	}...)
+}
 
 // MeanDistance returns the average head→tail distance in µ-ops.
 func (s *TraceStats) MeanDistance() float64 {

@@ -1,0 +1,89 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxFirst enforces the PR-2 context convention: cancellation flows
+// top-down through explicit context.Context parameters, always in the
+// first position, and library packages never mint their own root
+// context — context.Background() belongs to main functions (and to the
+// few documented legacy wrappers annotated //helios:ctx-ok <reason>).
+var CtxFirst = &Analyzer{
+	Name: "ctxfirst",
+	Doc: "context.Context parameters come first; library packages must " +
+		"not call context.Background()",
+	Run: runCtxFirst,
+}
+
+func runCtxFirst(p *Pass) error {
+	for _, f := range p.Files {
+		if p.isTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			p.checkCtxPosition(fd)
+		}
+		if p.Pkg.Name() == "main" {
+			continue // the process root: Background() is exactly right here
+		}
+		file := f
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if p.funcFromPkg(call, "context", "Background") || p.funcFromPkg(call, "context", "TODO") {
+				if !p.FuncAnnotated(file, call.Pos(), "ctx-ok") {
+					p.Reportf(call.Pos(), "library package calls context.%s: accept a ctx parameter instead so callers control cancellation (or annotate the wrapper //helios:ctx-ok <reason>)", calleeName(call))
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkCtxPosition flags a context.Context parameter anywhere but first.
+func (p *Pass) checkCtxPosition(fd *ast.FuncDecl) {
+	params := fd.Type.Params
+	if params == nil {
+		return
+	}
+	pos := 0
+	for _, field := range params.List {
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		if p.isContextType(field.Type) && pos > 0 {
+			p.Reportf(field.Pos(), "%s: context.Context must be the first parameter", fd.Name.Name)
+		}
+		pos += n
+	}
+}
+
+func (p *Pass) isContextType(e ast.Expr) bool {
+	tv, ok := p.TypesInfo.Types[e]
+	if !ok {
+		return false
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+func calleeName(call *ast.CallExpr) string {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		return sel.Sel.Name
+	}
+	return "<call>"
+}

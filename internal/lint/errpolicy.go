@@ -1,0 +1,59 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrPolicy enforces the PR-2 failure contract: the only panics in the
+// tree live behind the pipeline's recovered run loop (package ooo,
+// where every stage panic is converted to a typed *SimError with a
+// crash dump) or in Must*-style constructors used for static program
+// text. Everything else returns typed errors — a chaos campaign that
+// can panic the process cannot assert "no panics, no hangs".
+var ErrPolicy = &Analyzer{
+	Name: "errpolicy",
+	Doc: "panic is only legal inside package ooo (recovered run loop), " +
+		"Must*/must* helpers and init-time registration; elsewhere return typed errors",
+	Run: runErrPolicy,
+}
+
+func runErrPolicy(p *Pass) error {
+	if p.Pkg.Name() == "ooo" {
+		return nil // every stage runs under run()'s recover; see pipeline.go
+	}
+	for _, f := range p.Files {
+		if p.isTestFile(f.Pos()) {
+			continue
+		}
+		file := f
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !p.isPanicCall(call) {
+				return true
+			}
+			if fd := enclosingFuncDecl(file, call.Pos()); fd != nil {
+				name := fd.Name.Name
+				if strings.HasPrefix(name, "Must") || strings.HasPrefix(name, "must") || name == "init" {
+					return true
+				}
+			}
+			if p.FuncAnnotated(file, call.Pos(), "panic-ok") {
+				return true
+			}
+			p.Reportf(call.Pos(), "panic outside the recovered run loop: return a typed error instead, rename the helper must*/Must*, or annotate //helios:panic-ok <reason>")
+			return true
+		})
+	}
+	return nil
+}
+
+func (p *Pass) isPanicCall(call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "panic" {
+		return false
+	}
+	_, ok = p.TypesInfo.Uses[id].(*types.Builtin)
+	return ok
+}

@@ -1,0 +1,250 @@
+// Package lint is a small, dependency-free static-analysis framework in
+// the spirit of golang.org/x/tools/go/analysis, specialized for this
+// repository's correctness conventions. The canonical x/tools module is
+// not vendored here, so the framework re-implements the three concepts
+// the analyzers need — Analyzer, Pass and Diagnostic — on top of the
+// standard library's go/ast and go/types, plus the repository-specific
+// annotation escape hatches (//helios:nondeterminism-ok and friends).
+//
+// The analyzers themselves live in sibling files (simdeterminism.go,
+// seededrand.go, statscomplete.go, ctxfirst.go, magiclatency.go,
+// errpolicy.go); Registry returns them all, and cmd/heliosvet is the
+// multichecker driver. See DESIGN.md §10 for the catalog and the
+// conventions each analyzer enforces.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named check. Run inspects a single type-checked
+// package through the Pass and reports findings via Pass.Reportf.
+type Analyzer struct {
+	Name string // short lowercase identifier, e.g. "simdeterminism"
+	Doc  string // one-paragraph description of the convention enforced
+	Run  func(*Pass) error
+}
+
+// Diagnostic is one finding, positioned for editors and CI annotations.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags       *[]Diagnostic
+	annotations map[string]map[int][]string // filename → line → annotation keys
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// annotationRe matches the repository's escape-hatch comments:
+//
+//	//helios:nondeterminism-ok iteration only deletes entries
+//	//helios:param-ok heuristic window, not a machine parameter
+//
+// The key is everything between "helios:" and the first space; a
+// non-empty reason is required (enforced by Annotated's callers via
+// the bare-annotation diagnostic in checkAnnotations).
+var annotationRe = regexp.MustCompile(`^//\s*helios:([a-z-]+-ok)\b[ \t]*(.*)$`)
+
+// buildAnnotations indexes every //helios:*-ok comment by file and line.
+func (p *Pass) buildAnnotations() {
+	p.annotations = make(map[string]map[int][]string)
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := annotationRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				byLine := p.annotations[pos.Filename]
+				if byLine == nil {
+					byLine = make(map[int][]string)
+					p.annotations[pos.Filename] = byLine
+				}
+				byLine[pos.Line] = append(byLine[pos.Line], m[1])
+				if strings.TrimSpace(m[2]) == "" {
+					p.Reportf(c.Pos(), "annotation //helios:%s needs a reason (\"//helios:%s <why>\")", m[1], m[1])
+				}
+			}
+		}
+	}
+}
+
+// Annotated reports whether pos is covered by a //helios:<key> comment
+// on the same line or the line directly above (a comment-only line).
+func (p *Pass) Annotated(pos token.Pos, key string) bool {
+	if p.annotations == nil {
+		p.buildAnnotations()
+	}
+	at := p.Fset.Position(pos)
+	byLine := p.annotations[at.Filename]
+	for _, line := range []int{at.Line, at.Line - 1} {
+		for _, k := range byLine[line] {
+			if k == key {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// FuncAnnotated reports whether the doc comment of the function
+// enclosing pos (or the function's body lines immediately preceding
+// pos) carries the annotation. Used for function-scoped waivers such as
+// the legacy context.Background convenience wrappers.
+func (p *Pass) FuncAnnotated(file *ast.File, pos token.Pos, key string) bool {
+	if p.Annotated(pos, key) {
+		return true
+	}
+	fd := enclosingFuncDecl(file, pos)
+	if fd == nil || fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if m := annotationRe.FindStringSubmatch(c.Text); m != nil && m[1] == key {
+			return true
+		}
+	}
+	return false
+}
+
+// enclosingFuncDecl returns the top-level function declaration whose
+// body spans pos, or nil.
+func enclosingFuncDecl(file *ast.File, pos token.Pos) *ast.FuncDecl {
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Pos() <= pos && pos <= fd.End() {
+			return fd
+		}
+	}
+	return nil
+}
+
+// isTestFile reports whether the node's file is a _test.go file; every
+// analyzer in the suite exempts tests (determinism there is the test
+// author's concern, and literal seeds in tests are deliberate).
+func (p *Pass) isTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// fileOf returns the *ast.File containing pos.
+func (p *Pass) fileOf(pos token.Pos) *ast.File {
+	for _, f := range p.Files {
+		if f.Pos() <= pos && pos <= f.End() {
+			return f
+		}
+	}
+	return nil
+}
+
+// funcFromPkg resolves a called expression to a package-level function
+// of the given import path (e.g. "time".Now), seeing through selector
+// uses. It returns false for methods, so rng.Intn never matches
+// math/rand.Intn.
+func (p *Pass) funcFromPkg(call *ast.CallExpr, pkgPath, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := p.TypesInfo.Uses[sel.Sel]
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != pkgPath || fn.Name() != name {
+		return false
+	}
+	return fn.Type().(*types.Signature).Recv() == nil
+}
+
+// pkgLevelCallee returns the (*types.Func, true) a call resolves to when
+// the callee is a named function or method; false for indirect calls.
+func (p *Pass) pkgLevelCallee(call *ast.CallExpr) (*types.Func, bool) {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil, false
+	}
+	fn, ok := p.TypesInfo.Uses[id].(*types.Func)
+	return fn, ok
+}
+
+// Run executes one analyzer over one loaded package and returns its
+// findings sorted by position.
+func Run(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	pass := &Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.TypesInfo,
+		diags:     &diags,
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+	}
+	sortDiagnostics(diags)
+	return diags, nil
+}
+
+// RunAll executes every analyzer over every package.
+func RunAll(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
+	var all []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			ds, err := Run(a, pkg)
+			if err != nil {
+				return nil, err
+			}
+			all = append(all, ds...)
+		}
+	}
+	sortDiagnostics(all)
+	return all, nil
+}
+
+func sortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}

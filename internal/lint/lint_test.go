@@ -1,0 +1,59 @@
+package lint_test
+
+import (
+	"testing"
+
+	"helios/internal/lint"
+	"helios/internal/lint/linttest"
+)
+
+// Each analyzer must fire on its seeded testdata violations and stay
+// quiet on the adjacent compliant code — the analysistest-style golden
+// contract from ISSUE 3.
+
+func TestSimDeterminism(t *testing.T) {
+	linttest.Run(t, lint.SimDeterminism, "testdata/simdeterminism")
+}
+
+func TestSeededRand(t *testing.T) {
+	linttest.Run(t, lint.SeededRand, "testdata/seededrand")
+}
+
+func TestStatsComplete(t *testing.T) {
+	linttest.Run(t, lint.StatsComplete, "testdata/statscomplete")
+}
+
+func TestCtxFirst(t *testing.T) {
+	linttest.Run(t, lint.CtxFirst, "testdata/ctxfirst")
+}
+
+func TestMagicLatency(t *testing.T) {
+	linttest.Run(t, lint.MagicLatency, "testdata/magiclatency")
+}
+
+func TestErrPolicy(t *testing.T) {
+	linttest.Run(t, lint.ErrPolicy, "testdata/errpolicy")
+}
+
+// TestRegistryComplete pins the catalog: adding an analyzer without
+// registering it (or registering one twice) is a silent CI hole.
+func TestRegistryComplete(t *testing.T) {
+	names := map[string]bool{}
+	for _, a := range lint.Registry() {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v missing name, doc or run", a)
+		}
+		if names[a.Name] {
+			t.Errorf("analyzer %q registered twice", a.Name)
+		}
+		names[a.Name] = true
+	}
+	for _, want := range []string{
+		"simdeterminism", "seededrand", "statscomplete",
+		"ctxfirst", "magiclatency", "errpolicy",
+	} {
+		if !names[want] {
+			t.Errorf("registry missing analyzer %q", want)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+// Package linttest is the golden-test harness for the lint analyzers,
+// in the style of golang.org/x/tools/go/analysis/analysistest: a
+// testdata directory holds one package that deliberately violates the
+// convention, and `// want "regexp"` comments mark the line each
+// diagnostic must land on. The test fails if a want goes unmatched
+// (the analyzer did not fire) or a diagnostic appears with no want
+// (a false positive).
+package linttest
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"helios/internal/lint"
+)
+
+var wantRe = regexp.MustCompile(`//\s*want\s+"((?:[^"\\]|\\.)*)"`)
+
+// Run loads the single package under dir, applies the analyzer, and
+// checks its diagnostics against the `// want` comments.
+func Run(t *testing.T, a *lint.Analyzer, dir string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	var files []*ast.File
+	wants := make(map[string]map[int][]*wantEntry) // file base name → line → wants
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("linttest: %v", err)
+		}
+		files = append(files, f)
+		wants[e.Name()] = collectWants(t, fset, f)
+	}
+	if len(files) == 0 {
+		t.Fatalf("linttest: no Go files in %s", dir)
+	}
+	pkg, err := lint.CheckFiles(fset, "testdata/"+filepath.Base(dir), files,
+		importer.ForCompiler(fset, "source", nil))
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	diags, err := lint.Run(a, pkg)
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	for _, d := range diags {
+		base := filepath.Base(d.Pos.Filename)
+		if w := matchWant(wants[base], d.Pos.Line, d.Message); w != nil {
+			w.matched = true
+			continue
+		}
+		t.Errorf("unexpected diagnostic:\n  %s", d)
+	}
+	names := make([]string, 0, len(wants))
+	for name := range wants {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		lines := make([]int, 0, len(wants[name]))
+		for line := range wants[name] {
+			lines = append(lines, line)
+		}
+		sort.Ints(lines)
+		for _, line := range lines {
+			for _, w := range wants[name][line] {
+				if !w.matched {
+					t.Errorf("%s:%d: no diagnostic matching %q (analyzer did not fire)", name, line, w.re.String())
+				}
+			}
+		}
+	}
+}
+
+type wantEntry struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+func collectWants(t *testing.T, fset *token.FileSet, f *ast.File) map[int][]*wantEntry {
+	t.Helper()
+	byLine := make(map[int][]*wantEntry)
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			for _, m := range wantRe.FindAllStringSubmatch(c.Text, -1) {
+				pattern := strings.ReplaceAll(m[1], `\"`, `"`)
+				re, err := regexp.Compile(pattern)
+				if err != nil {
+					t.Fatalf("linttest: bad want pattern %q: %v", m[1], err)
+				}
+				line := fset.Position(c.Pos()).Line
+				byLine[line] = append(byLine[line], &wantEntry{re: re})
+			}
+		}
+	}
+	return byLine
+}
+
+func matchWant(byLine map[int][]*wantEntry, line int, msg string) *wantEntry {
+	for _, w := range byLine[line] {
+		if !w.matched && w.re.MatchString(msg) {
+			return w
+		}
+	}
+	return nil
+}

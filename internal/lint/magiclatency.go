@@ -1,0 +1,136 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"path/filepath"
+	"strings"
+)
+
+// machineParamWords are the name fragments that mark a parameter or
+// struct field as a machine parameter — a latency, capacity, geometry
+// or width that belongs in Config so every simulated machine stays
+// paper-comparable and sweepable.
+var machineParamWords = []string{
+	"size", "sets", "ways", "bits", "entries", "lat", "penalty",
+	"width", "port", "cap", "depth", "nest", "dist", "interval",
+}
+
+// magicPackages limits the check to the cycle-level model and the
+// memory hierarchy, where a hard-coded constant silently changes the
+// simulated machine.
+var magicPackages = map[string]bool{"ooo": true, "cache": true}
+
+// MagicLatency flags integer literals used as machine parameters —
+// latencies, queue capacities, table geometries — outside config.go and
+// Default* constructors. Paper Table II lives in configuration, not
+// scattered through the pipeline stages.
+var MagicLatency = &Analyzer{
+	Name: "magiclatency",
+	Doc: "cycle latencies and structure capacities in ooo/cache must come " +
+		"from Config (config.go / Default* funcs), not inline literals",
+	Run: runMagicLatency,
+}
+
+func runMagicLatency(p *Pass) error {
+	if !magicPackages[p.Pkg.Name()] {
+		return nil
+	}
+	for _, f := range p.Files {
+		base := filepath.Base(p.Fset.Position(f.Pos()).Filename)
+		if base == "config.go" || strings.HasSuffix(base, "_test.go") {
+			continue
+		}
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && strings.HasPrefix(fd.Name.Name, "Default") {
+				continue // DefaultConfig and friends are the parameter home
+			}
+			ast.Inspect(decl, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					p.checkMagicCallArgs(n)
+				case *ast.CompositeLit:
+					p.checkMagicFields(n)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// checkMagicCallArgs flags literal arguments bound to machine-parameter
+// names (e.g. NewBTB(1024, 4) where the params are sets, ways).
+func (p *Pass) checkMagicCallArgs(call *ast.CallExpr) {
+	fn, ok := p.pkgLevelCallee(call)
+	if !ok {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Variadic() {
+		return
+	}
+	for i, arg := range call.Args {
+		if i >= sig.Params().Len() {
+			break
+		}
+		param := sig.Params().At(i)
+		if !isMachineParamName(param.Name()) {
+			continue
+		}
+		if lit, v, ok := p.intLiteral(arg); ok && v >= 2 && !p.Annotated(lit.Pos(), "param-ok") {
+			p.Reportf(lit.Pos(), "magic machine parameter: literal %s passed as %q to %s — thread it through Config (or annotate //helios:param-ok <reason>)", lit.Value, param.Name(), fn.Name())
+		}
+	}
+}
+
+// checkMagicFields flags literal values assigned to machine-parameter
+// fields in struct literals (e.g. Config{IQSize: 97}).
+func (p *Pass) checkMagicFields(cl *ast.CompositeLit) {
+	for _, elt := range cl.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok || !isMachineParamName(key.Name) {
+			continue
+		}
+		if lit, v, ok := p.intLiteral(kv.Value); ok && v >= 2 && !p.Annotated(lit.Pos(), "param-ok") {
+			p.Reportf(lit.Pos(), "magic machine parameter: literal %s assigned to field %q — move the value to config.go or a Default* constructor (or annotate //helios:param-ok <reason>)", lit.Value, key.Name)
+		}
+	}
+}
+
+// intLiteral unwraps conversions/parens and returns the basic literal
+// plus its constant value when the expression is a plain integer
+// literal.
+func (p *Pass) intLiteral(e ast.Expr) (*ast.BasicLit, int64, bool) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.BasicLit:
+		tv, ok := p.TypesInfo.Types[e]
+		if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+			return nil, 0, false
+		}
+		v, ok := constant.Int64Val(tv.Value)
+		return e, v, ok
+	case *ast.CallExpr: // a conversion like uint(11)
+		if len(e.Args) == 1 {
+			if tv, ok := p.TypesInfo.Types[e.Fun]; ok && tv.IsType() {
+				return p.intLiteral(e.Args[0])
+			}
+		}
+	}
+	return nil, 0, false
+}
+
+func isMachineParamName(name string) bool {
+	lower := strings.ToLower(name)
+	for _, w := range machineParamWords {
+		if strings.Contains(lower, w) {
+			return true
+		}
+	}
+	return false
+}

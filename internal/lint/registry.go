@@ -1,0 +1,15 @@
+package lint
+
+// Registry returns every analyzer in the suite, in catalog order
+// (DESIGN.md §10). cmd/heliosvet runs them all; individual tests run
+// them one at a time over testdata packages.
+func Registry() []*Analyzer {
+	return []*Analyzer{
+		SimDeterminism,
+		SeededRand,
+		StatsComplete,
+		CtxFirst,
+		MagicLatency,
+		ErrPolicy,
+	}
+}

@@ -1,0 +1,174 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"reflect"
+	"strings"
+)
+
+// statsSurfaceMethods are the method names recognized as a stats
+// struct's reporting surface: the enumerations that feed JSON dumps,
+// tables and CLIs. A counter that is incremented by the pipeline but
+// missing from every surface method is a silently unreported statistic
+// — exactly the bug class that makes a reproduction drift from the
+// paper without failing any test.
+var statsSurfaceMethods = map[string]bool{
+	"Rows": true, "Dump": true, "DumpJSON": true, "MarshalJSON": true,
+}
+
+// StatsComplete checks that every exported numeric field of a *Stats
+// struct is reachable from the struct's dump surface (a Rows/Dump/
+// DumpJSON/MarshalJSON method, including the methods those call on the
+// same type). Fields tagged `json:"-"` are deliberately unreported and
+// exempt.
+var StatsComplete = &Analyzer{
+	Name: "statscomplete",
+	Doc: "every exported numeric field of a *Stats struct must be " +
+		"referenced from its dump surface (Rows/Dump/DumpJSON/MarshalJSON)",
+	Run: runStatsComplete,
+}
+
+func runStatsComplete(p *Pass) error {
+	for _, f := range p.Files {
+		if p.isTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok || !strings.HasSuffix(ts.Name.Name, "Stats") {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				p.checkStatsType(ts.Name.Name, st)
+			}
+		}
+	}
+	return nil
+}
+
+func (p *Pass) checkStatsType(typeName string, st *ast.StructType) {
+	type field struct {
+		name *ast.Ident
+	}
+	var fields []field
+	for _, fd := range st.Fields.List {
+		if !p.numericField(fd) || jsonOmitted(fd) {
+			continue
+		}
+		for _, name := range fd.Names {
+			if name.IsExported() {
+				fields = append(fields, field{name})
+			}
+		}
+	}
+	if len(fields) == 0 {
+		return
+	}
+	reached, haveSurface := p.surfaceFieldRefs(typeName)
+	if !haveSurface {
+		p.Reportf(st.Pos(), "%s has exported numeric counters but no dump surface: add a Rows/Dump/DumpJSON/MarshalJSON method enumerating every field", typeName)
+		return
+	}
+	for _, f := range fields {
+		if !reached[f.name.Name] {
+			p.Reportf(f.name.Pos(), "%s.%s is never referenced from the %s dump surface: the counter is collected but silently unreported", typeName, f.name.Name, typeName)
+		}
+	}
+}
+
+// numericField reports whether the field's type is numeric or an array
+// of numerics — the shapes used for counters and histograms.
+func (p *Pass) numericField(fd *ast.Field) bool {
+	tv, ok := p.TypesInfo.Types[fd.Type]
+	if !ok {
+		return false
+	}
+	t := tv.Type.Underlying()
+	if arr, ok := t.(*types.Array); ok {
+		t = arr.Elem().Underlying()
+	}
+	b, ok := t.(*types.Basic)
+	return ok && b.Info()&types.IsNumeric != 0
+}
+
+// jsonOmitted reports a `json:"-"` struct tag — the explicit opt-out.
+func jsonOmitted(fd *ast.Field) bool {
+	if fd.Tag == nil {
+		return false
+	}
+	tag := strings.Trim(fd.Tag.Value, "`")
+	return reflect.StructTag(tag).Get("json") == "-"
+}
+
+// surfaceFieldRefs walks the dump-surface methods of typeName — plus any
+// same-type methods they call, transitively — and collects every field
+// name referenced anywhere in those bodies.
+func (p *Pass) surfaceFieldRefs(typeName string) (map[string]bool, bool) {
+	methods := make(map[string]*ast.FuncDecl)
+	for _, f := range p.Files {
+		if p.isTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || len(fd.Recv.List) != 1 {
+				continue
+			}
+			if receiverTypeName(fd.Recv.List[0].Type) == typeName {
+				methods[fd.Name.Name] = fd
+			}
+		}
+	}
+	reached := make(map[string]bool)
+	var queue []string
+	seen := make(map[string]bool)
+	haveSurface := false
+	for name := range methods {
+		if statsSurfaceMethods[name] {
+			haveSurface = true
+			queue = append(queue, name)
+			seen[name] = true
+		}
+	}
+	for len(queue) > 0 {
+		fd := methods[queue[0]]
+		queue = queue[1:]
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			reached[id.Name] = true
+			// Follow helper methods on the same type (e.g. Rows calling
+			// s.TotalMemPairs(), which reads the pair counters).
+			if _, isMethod := methods[id.Name]; isMethod && !seen[id.Name] {
+				seen[id.Name] = true
+				queue = append(queue, id.Name)
+			}
+			return true
+		})
+	}
+	return reached, haveSurface
+}
+
+// receiverTypeName unwraps *T / T receiver expressions to "T".
+func receiverTypeName(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.StarExpr:
+		return receiverTypeName(e.X)
+	case *ast.Ident:
+		return e.Name
+	case *ast.IndexExpr: // generic receiver T[P]
+		return receiverTypeName(e.X)
+	}
+	return ""
+}

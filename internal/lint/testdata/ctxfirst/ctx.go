@@ -1,0 +1,34 @@
+// Package corex seeds ctxfirst violations for the golden test.
+package corex
+
+import "context"
+
+func run(ctx context.Context) error {
+	return ctx.Err()
+}
+
+func goodOrder(ctx context.Context, name string) error {
+	_ = name
+	return run(ctx)
+}
+
+func badOrder(name string, ctx context.Context) error { // want "context.Context must be the first parameter"
+	_ = name
+	return run(ctx)
+}
+
+func mintsRoot() error {
+	return run(context.Background()) // want "library package calls context.Background"
+}
+
+func mintsTODO() error {
+	return run(context.TODO()) // want "library package calls context.TODO"
+}
+
+// legacyWrapper predates the context-first refactor and is kept for the
+// examples; new callers use goodOrder.
+//
+//helios:ctx-ok documented legacy wrapper, examples only
+func legacyWrapper() error {
+	return run(context.Background()) // ok: waived at the function level
+}

@@ -1,0 +1,48 @@
+// Package emux seeds errpolicy violations for the golden test.
+package emux
+
+import "fmt"
+
+func decode(b byte) (int, error) {
+	if b > 7 {
+		panic("bad opcode") // want "panic outside the recovered run loop"
+	}
+	return int(b), nil
+}
+
+func decodeTyped(b byte) (int, error) {
+	if b > 7 {
+		return 0, fmt.Errorf("emux: bad opcode %d", b) // ok: typed error
+	}
+	return int(b), nil
+}
+
+// MustDecode is the blessed panic shape: a Must* helper for static
+// program text in tests and workload definitions.
+func MustDecode(b byte) int {
+	v, err := decode(b % 8)
+	if err != nil {
+		panic(err) // ok: Must* helper
+	}
+	return v
+}
+
+func init() {
+	if MustDecode(1) != 1 {
+		panic("emux: self-check failed") // ok: init-time registration
+	}
+}
+
+// buildTable constructs the static dispatch table.
+//
+//helios:panic-ok static table construction, exercised by every test
+func buildTable() []int {
+	t := make([]int, 8)
+	for i := range t {
+		if i > 8 {
+			panic("unreachable") // ok: waived at the function level
+		}
+		t[i] = i
+	}
+	return t
+}

@@ -1,0 +1,42 @@
+// Package ooo seeds magiclatency violations for the golden test (named
+// after a simulation package so the analyzer is in scope; the file is
+// deliberately not config.go).
+package ooo
+
+type table struct{ n int }
+
+func newTable(logSize uint) *table { return &table{n: 1 << logSize} }
+
+type machine struct {
+	IQSize  int
+	Latency int
+	Mode    int
+}
+
+func build() *machine {
+	_ = newTable(11) // want "literal 11 passed as \"logSize\""
+	return &machine{
+		IQSize:  160, // want "literal 160 assigned to field \"IQSize\""
+		Latency: 5,   // want "literal 5 assigned to field \"Latency\""
+		Mode:    3,   // ok: not a machine-parameter name
+	}
+}
+
+// DefaultMachine is a Default* constructor: the one blessed home for
+// literal machine parameters outside config.go.
+func DefaultMachine() *machine {
+	return &machine{IQSize: 160, Latency: 5}
+}
+
+func buildFromConfig(cfg machine) *table {
+	return newTable(uint(cfg.IQSize)) // ok: config-driven
+}
+
+func scratch() *table {
+	//helios:param-ok bounded scratch table, not a simulated structure
+	return newTable(12) // ok: annotated
+}
+
+func unit() *table {
+	return newTable(1) // ok: 0/1 are not magic
+}

@@ -1,0 +1,36 @@
+// Package chaosx seeds seededrand violations for the golden test.
+package chaosx
+
+import (
+	"math/rand"
+	"time"
+)
+
+type campaignConfig struct {
+	Seed int64
+}
+
+func literalSeed() *rand.Rand {
+	return rand.New(rand.NewSource(42)) // want "does not derive from a seed parameter"
+}
+
+func clockSeed() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want "seeded from the wall clock"
+}
+
+func unrelatedVariable(n int64) *rand.Rand {
+	return rand.New(rand.NewSource(n)) // want "does not derive from a seed parameter"
+}
+
+func fromConfig(cfg campaignConfig) *rand.Rand {
+	return rand.New(rand.NewSource(cfg.Seed)) // ok: config-derived
+}
+
+func fromParameter(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed + 7)) // ok: derived from a seed parameter
+}
+
+//helios:seed-ok fixed golden stream shared with the reference traces
+func goldenStream() *rand.Rand {
+	return rand.New(rand.NewSource(1)) // ok: annotated
+}

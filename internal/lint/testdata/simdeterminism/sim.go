@@ -1,0 +1,73 @@
+// Package ooo seeds simdeterminism violations for the golden test: the
+// package is named after a simulation package so the analyzer is in
+// scope. Each `// want` comment is a diagnostic the analyzer must emit.
+package ooo
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClock() int64 {
+	return time.Now().UnixNano() // want "time.Now in a simulation package"
+}
+
+func globalRand() int {
+	return rand.Intn(8) // want "global math/rand.Intn in a simulation package"
+}
+
+func seededRand(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(8) // ok: draws from an explicitly seeded *rand.Rand
+}
+
+func mapKeysUnsorted(m map[int]int) []int {
+	var out []int
+	for k := range m { // want "iteration over a map in a simulation package"
+		out = append(out, k)
+	}
+	return out
+}
+
+func mapFloatSum(m map[int]float64) float64 {
+	var sum float64
+	for _, v := range m { // want "iteration over a map in a simulation package"
+		sum += v // float addition does not commute in rounding
+	}
+	return sum
+}
+
+func mapIntSum(m map[int]uint64) uint64 {
+	var sum uint64
+	for _, v := range m { // ok: commutative integer accumulation
+		sum += v
+	}
+	return sum
+}
+
+func mapGuardedPrune(m map[uint64]uint64, cycle uint64) {
+	for k, ready := range m { // ok: guarded delete with loop-invariant condition
+		if ready <= cycle {
+			delete(m, k)
+		}
+	}
+}
+
+func mapGuardedAccum(m map[uint64]uint64) uint64 {
+	var sum uint64
+	for _, v := range m { // want "iteration over a map in a simulation package"
+		if sum < 100 { // condition observes the accumulator: order-sensitive
+			sum += v
+		}
+	}
+	return sum
+}
+
+func mapAnnotated(m map[int]int) int {
+	last := 0
+	//helios:nondeterminism-ok result is order-independent because the caller only checks emptiness
+	for k := range m {
+		last = k
+	}
+	return last
+}

@@ -1,0 +1,48 @@
+// Package statsx seeds statscomplete violations for the golden test.
+package statsx
+
+import "strconv"
+
+// RunStats has a complete dump surface: Rows enumerates every exported
+// numeric field, and Skips opts out explicitly.
+type RunStats struct {
+	Cycles uint64
+	Insts  uint64
+	Skips  uint64 `json:"-"`
+}
+
+func (s *RunStats) Rows() [][2]string {
+	return [][2]string{
+		{"cycles", strconv.FormatUint(s.Cycles, 10)},
+		{"insts", strconv.FormatUint(s.Insts, 10)},
+	}
+}
+
+// DropStats increments Misses somewhere in the pipeline but never
+// reports it — the exact bug class the analyzer exists for.
+type DropStats struct {
+	Hits   uint64
+	Misses uint64 // want "DropStats.Misses is never referenced"
+}
+
+func (s *DropStats) Rows() [][2]string {
+	return [][2]string{{"hits", strconv.FormatUint(s.Hits, 10)}}
+}
+
+// OrphanStats has counters but no reporting surface at all.
+type OrphanStats struct { // want "OrphanStats has exported numeric counters but no dump surface"
+	Retries uint64
+}
+
+// SumStats reaches its fields through a helper method called from the
+// surface — the closure the analyzer must follow.
+type SumStats struct {
+	A uint64
+	B uint64
+}
+
+func (s *SumStats) total() uint64 { return s.A + s.B }
+
+func (s *SumStats) Rows() [][2]string {
+	return [][2]string{{"total", strconv.FormatUint(s.total(), 10)}}
+}

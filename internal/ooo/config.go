@@ -52,6 +52,16 @@ type Config struct {
 	// Store buffer drains per cycle (TSO, post-commit).
 	StoreDrainPerCycle int
 
+	// Front-end predictor geometry (zero values = the paper's design).
+	TAGELogSize uint // log2 entries per tagged TAGE table
+	BTBSets     int
+	BTBWays     int
+	RASSize     int
+
+	// Store-set memory-dependence predictor geometry.
+	StoreSetLogSize uint // log2 SSIT entries
+	StoreSetLogSets uint // log2 LFST entries
+
 	// Fusion configuration.
 	Mode        fusion.Mode
 	PairCfg     fusion.PairConfig
@@ -105,6 +115,14 @@ func DefaultConfig(mode fusion.Mode) Config {
 		RedirectPenalty: 15,
 
 		StoreDrainPerCycle: 1, // one store retires to L1D per cycle
+
+		TAGELogSize: 11,
+		BTBSets:     1024,
+		BTBWays:     4,
+		RASSize:     64,
+
+		StoreSetLogSize: 12,
+		StoreSetLogSets: 7,
 
 		Mode:        mode,
 		PairCfg:     fusion.DefaultPairConfig(),
@@ -176,6 +194,24 @@ func (c *Config) validate() {
 	}
 	if c.MaxNCSFNest == 0 {
 		c.MaxNCSFNest = def.MaxNCSFNest
+	}
+	if c.TAGELogSize == 0 {
+		c.TAGELogSize = def.TAGELogSize
+	}
+	if c.BTBSets == 0 {
+		c.BTBSets = def.BTBSets
+	}
+	if c.BTBWays == 0 {
+		c.BTBWays = def.BTBWays
+	}
+	if c.RASSize == 0 {
+		c.RASSize = def.RASSize
+	}
+	if c.StoreSetLogSize == 0 {
+		c.StoreSetLogSize = def.StoreSetLogSize
+	}
+	if c.StoreSetLogSets == 0 {
+		c.StoreSetLogSets = def.StoreSetLogSets
 	}
 	if c.PairCfg.LineSize == 0 {
 		c.PairCfg = def.PairCfg

@@ -111,6 +111,8 @@ func (p *Pipeline) CheckInvariants() error {
 // RunChecked is Run with CheckInvariants called every interval cycles;
 // it is the harness used by the failure-injection tests. A violation
 // surfaces as a FailInvariant SimError with the snapshot attached.
+//
+//helios:ctx-ok top-of-stack convenience for tests; the chaos driver uses RunCheckedContext
 func (p *Pipeline) RunChecked(interval uint64) (*Stats, error) {
 	return p.RunCheckedContext(context.Background(), interval)
 }

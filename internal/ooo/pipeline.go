@@ -99,13 +99,13 @@ func New(cfg Config, src trace.Source) *Pipeline {
 		cfg:          cfg,
 		mem:          cache.New(cfg.Cache),
 		src:          src,
-		tage:         branch.NewTAGE(11),
-		btb:          branch.NewBTB(1024, 4),
-		ras:          branch.NewRAS(64),
+		tage:         branch.NewTAGE(cfg.TAGELogSize),
+		btb:          branch.NewBTB(cfg.BTBSets, cfg.BTBWays),
+		ras:          branch.NewRAS(cfg.RASSize),
 		aq:           newUopRing(cfg.AQSize),
 		rob:          newUopRing(cfg.ROBSize),
 		events:       make(map[uint64][]*pUop),
-		storeSets:    memdep.New(12, 7),
+		storeSets:    memdep.New(cfg.StoreSetLogSize, cfg.StoreSetLogSets),
 		plannedPairs: make(map[uint64]fusion.Pairing),
 	}
 	// Physical register file: the first 32 back the initial RAT.
@@ -153,6 +153,8 @@ const ctxCheckInterval = 1024
 // Run simulates until the stream is exhausted and the pipeline drains, or
 // cfg.MaxUops architectural instructions have committed. It returns the
 // final statistics.
+//
+//helios:ctx-ok top-of-stack convenience for examples and tests; callers needing cancellation use RunContext
 func (p *Pipeline) Run() (*Stats, error) {
 	return p.run(context.Background(), 0)
 }

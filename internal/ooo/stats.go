@@ -1,5 +1,11 @@
 package ooo
 
+import (
+	"fmt"
+
+	"helios/internal/uop"
+)
+
 // Stats accumulates everything the evaluation needs: IPC inputs, per-kind
 // fusion counts (Figures 2, 8), structural stall attribution (Figure 9),
 // predictor quality inputs (Table III) and pair address categories
@@ -137,4 +143,62 @@ func (s *Stats) MeanNCSFDistance() float64 {
 // StallCycles returns total structural stall cycles by resource.
 func (s *Stats) StallCycles() uint64 {
 	return s.StallFreeList + s.StallROB + s.StallIQ + s.StallLQ + s.StallSQ
+}
+
+// Rows enumerates every counter as (name, value) pairs in declaration
+// order — the canonical dump surface behind `heliossim -json` and the
+// detailed printout. The statscomplete analyzer checks this enumeration
+// against the struct, so a counter added to Stats without a row here
+// fails lint instead of going silently unreported.
+func (s *Stats) Rows() [][2]string {
+	u := func(v uint64) string { return fmt.Sprint(v) }
+	rows := [][2]string{
+		{"cycles", u(s.Cycles)},
+		{"committed_uops", u(s.CommittedUops)},
+		{"committed_insts", u(s.CommittedInsts)},
+		{"committed_mem", u(s.CommittedMem)},
+		{"fused_idiom", u(s.FusedIdiom)},
+		{"fused_mem_idiom", u(s.FusedMemIdiom)},
+		{"csf_load_pairs", u(s.CSFLoadPairs)},
+		{"csf_store_pairs", u(s.CSFStorePairs)},
+		{"ncsf_load_pairs", u(s.NCSFLoadPairs)},
+		{"ncsf_store_pairs", u(s.NCSFStorePairs)},
+		{"dbr_pairs", u(s.DBRPairs)},
+		{"asymmetric_pairs", u(s.AsymmetricPairs)},
+	}
+	for i, v := range s.PairsByCategory {
+		rows = append(rows, [2]string{
+			fmt.Sprintf("pairs_by_category[%s]", uop.AddrCategory(i)), u(v)})
+	}
+	rows = append(rows, [][2]string{
+		{"distance_sum", u(s.DistanceSum)},
+		{"unfused_at_rename", u(s.UnfusedAtRename)},
+	}...)
+	for i, v := range s.UnfuseReasons {
+		reasons := [5]string{"window", "serializing", "store-in-catalyst", "dbr-store", "deadlock"}
+		rows = append(rows, [2]string{
+			fmt.Sprintf("unfuse_reasons[%s]", reasons[i]), u(v)})
+	}
+	return append(rows, [][2]string{
+		{"nest_limit_drops", u(s.NestLimitDrops)},
+		{"fusion_predictions", u(s.FusionPredictions)},
+		{"fusion_mispredicts", u(s.FusionMispredicts)},
+		{"uch_matches", u(s.UCHMatches)},
+		{"fp_trainings", u(s.FPTrainings)},
+		{"branches", u(s.Branches)},
+		{"branch_mispredicts", u(s.BranchMispredicts)},
+		{"store_set_violations", u(s.StoreSetViolations)},
+		{"stl_forwards", u(s.STLForwards)},
+		{"line_crossing_pairs", u(s.LineCrossingPairs)},
+		{"stall_free_list", u(s.StallFreeList)},
+		{"stall_rob", u(s.StallROB)},
+		{"stall_iq", u(s.StallIQ)},
+		{"stall_lq", u(s.StallLQ)},
+		{"stall_sq", u(s.StallSQ)},
+		{"flushes", u(s.Flushes)},
+		{"chaos_flushes", u(s.ChaosFlushes)},
+		{"mispredict_resolve_lat", u(s.MispredictResolveLat)},
+		{"mispredict_aq_lat", u(s.MispredictAQLat)},
+		{"mispredict_issue_lat", u(s.MispredictIssueLat)},
+	}...)
 }

@@ -1,0 +1,114 @@
+package ooo
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// fillStats sets every exported field of Stats to a distinct nonzero
+// value via reflection, so a field dropped anywhere in a dump/reimport
+// cycle cannot hide behind a zero.
+func fillStats(t *testing.T) *Stats {
+	t.Helper()
+	var s Stats
+	v := reflect.ValueOf(&s).Elem()
+	next := uint64(1)
+	for i := 0; i < v.NumField(); i++ {
+		f := v.Field(i)
+		if !v.Type().Field(i).IsExported() {
+			continue
+		}
+		switch f.Kind() {
+		case reflect.Uint64:
+			f.SetUint(next)
+			next++
+		case reflect.Array:
+			for j := 0; j < f.Len(); j++ {
+				f.Index(j).SetUint(next)
+				next++
+			}
+		default:
+			t.Fatalf("Stats.%s has unhandled kind %v: extend fillStats and the dump surface",
+				v.Type().Field(i).Name, f.Kind())
+		}
+	}
+	return &s
+}
+
+// TestStatsJSONRoundTrip is the runtime twin of the statscomplete
+// analyzer: every exported Stats field must survive a JSON dump and
+// reimport bit-for-bit, and must appear as a key in the marshaled
+// object.
+func TestStatsJSONRoundTrip(t *testing.T) {
+	s := fillStats(t)
+	b, err := json.Marshal(s)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back Stats
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if !reflect.DeepEqual(*s, back) {
+		t.Errorf("Stats did not survive the JSON round trip:\n  out: %+v\n  in:  %+v", *s, back)
+	}
+
+	var keys map[string]json.RawMessage
+	if err := json.Unmarshal(b, &keys); err != nil {
+		t.Fatalf("unmarshal keys: %v", err)
+	}
+	typ := reflect.TypeOf(*s)
+	for i := 0; i < typ.NumField(); i++ {
+		f := typ.Field(i)
+		if !f.IsExported() {
+			continue
+		}
+		if _, ok := keys[f.Name]; !ok {
+			t.Errorf("Stats.%s missing from the JSON dump", f.Name)
+		}
+	}
+}
+
+// TestStatsRowsComplete asserts the Rows enumeration has exactly one
+// row per counter slot (scalars count 1, arrays their length) and no
+// duplicate names — the runtime check behind the static analyzer's
+// field-reference audit.
+func TestStatsRowsComplete(t *testing.T) {
+	s := fillStats(t)
+	rows := s.Rows()
+
+	wantSlots := 0
+	typ := reflect.TypeOf(*s)
+	for i := 0; i < typ.NumField(); i++ {
+		f := typ.Field(i)
+		if !f.IsExported() {
+			continue
+		}
+		if f.Type.Kind() == reflect.Array {
+			wantSlots += f.Type.Len()
+		} else {
+			wantSlots++
+		}
+	}
+	if len(rows) != wantSlots {
+		t.Errorf("Rows() has %d entries, want %d (one per counter slot)", len(rows), wantSlots)
+	}
+
+	seen := make(map[string]bool, len(rows))
+	zero := 0
+	for _, r := range rows {
+		if seen[r[0]] {
+			t.Errorf("duplicate row %q", r[0])
+		}
+		seen[r[0]] = true
+		if r[1] == "0" {
+			zero++
+		}
+	}
+	// Every slot was filled nonzero, so any "0" value means a row reads
+	// a field the filler never set (i.e. a stale or misnamed row).
+	if zero != 0 {
+		t.Errorf("%d rows read zero from a fully filled Stats", zero)
+	}
+}

@@ -8,7 +8,7 @@ package workloads
 // buffers) keeps the shift-add address idiom.
 
 func init() {
-	register(Workload{
+	mustRegister(Workload{
 		Name:     "crc32",
 		PaperRef: "MiBench crc32",
 		MaxInsts: 300_000,
@@ -79,7 +79,7 @@ crcloop:
 `,
 	})
 
-	register(Workload{
+	mustRegister(Workload{
 		Name:     "bitcount",
 		PaperRef: "MiBench bitcount",
 		MaxInsts: 320_000,
@@ -164,7 +164,7 @@ vloop:
 `,
 	})
 
-	register(Workload{
+	mustRegister(Workload{
 		Name:     "qsort",
 		PaperRef: "MiBench qsort",
 		MaxInsts: 400_000,
@@ -258,14 +258,14 @@ bad:
 `,
 	})
 
-	register(Workload{
+	mustRegister(Workload{
 		Name:     "sha",
 		PaperRef: "MiBench sha (unrolled SHA-1 schedule + compress)",
 		MaxInsts: 300_000,
 		Source:   shaSource(),
 	})
 
-	register(Workload{
+	mustRegister(Workload{
 		Name:     "stringsearch",
 		PaperRef: "MiBench stringsearch",
 		MaxInsts: 300_000,
@@ -351,7 +351,7 @@ nomatch:
 `,
 	})
 
-	register(Workload{
+	mustRegister(Workload{
 		Name:     "basicmath",
 		PaperRef: "MiBench basicmath",
 		MaxInsts: 350_000,
@@ -433,7 +433,7 @@ sqrtdone:
 `,
 	})
 
-	register(Workload{
+	mustRegister(Workload{
 		Name:     "fft",
 		PaperRef: "MiBench fft (fixed point, interleaved complex)",
 		MaxInsts: 350_000,
@@ -527,7 +527,7 @@ bfly:
 `,
 	})
 
-	register(Workload{
+	mustRegister(Workload{
 		Name:     "dijkstra",
 		PaperRef: "MiBench dijkstra",
 		MaxInsts: 400_000,
@@ -634,7 +634,7 @@ rundone:
 `,
 	})
 
-	register(Workload{
+	mustRegister(Workload{
 		Name:     "susan",
 		PaperRef: "MiBench susan (smoothing)",
 		MaxInsts: 350_000,
@@ -714,7 +714,7 @@ colloop:
 `,
 	})
 
-	register(Workload{
+	mustRegister(Workload{
 		Name:     "rijndael",
 		PaperRef: "MiBench rijndael",
 		MaxInsts: 300_000,
@@ -803,7 +803,7 @@ cipherok:
 `,
 	})
 
-	register(Workload{
+	mustRegister(Workload{
 		Name:     "adpcm",
 		PaperRef: "MiBench adpcm",
 		MaxInsts: 300_000,

@@ -5,7 +5,7 @@ package workloads
 // style -O3 code uses.
 
 func init() {
-	register(Workload{
+	mustRegister(Workload{
 		Name:     "mcf",
 		PaperRef: "605.mcf (pointer chasing over arcs)",
 		MaxInsts: 300_000,
@@ -62,7 +62,7 @@ walk:
 `,
 	})
 
-	register(Workload{
+	mustRegister(Workload{
 		Name:     "xz",
 		PaperRef: "657.xz (LZ match emission, store-queue pressure)",
 		MaxInsts: 350_000,
@@ -164,7 +164,7 @@ nowrap:
 `,
 	})
 
-	register(Workload{
+	mustRegister(Workload{
 		Name:     "gcc",
 		PaperRef: "602.gcc (hash tables, branchy integer)",
 		MaxInsts: 350_000,
@@ -245,7 +245,7 @@ opnext:
 `,
 	})
 
-	register(Workload{
+	mustRegister(Workload{
 		Name:     "perlbench",
 		PaperRef: "600.perlbench (string hashing)",
 		MaxInsts: 350_000,
@@ -322,7 +322,7 @@ passdone:
 `,
 	})
 
-	register(Workload{
+	mustRegister(Workload{
 		Name:     "omnetpp",
 		PaperRef: "620.omnetpp (event queue / binary heap)",
 		MaxInsts: 400_000,
@@ -434,7 +434,7 @@ drain:
 `,
 	})
 
-	register(Workload{
+	mustRegister(Workload{
 		Name:     "typeset",
 		PaperRef: "MiBench typeset (box layout passes)",
 		MaxInsts: 350_000,

@@ -81,7 +81,10 @@ func (w Workload) Record(maxInsts uint64) (*trace.Recording, error) {
 
 var registry = map[string]Workload{}
 
-func register(w Workload) {
+// mustRegister panics on a duplicate name: registration runs at init time
+// from static workload definitions, so a duplicate is a build bug, not a
+// runtime condition.
+func mustRegister(w Workload) {
 	if _, dup := registry[w.Name]; dup {
 		panic("duplicate workload " + w.Name)
 	}
