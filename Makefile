@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build lint test race fuzz-short experiments-smoke
+.PHONY: all build lint test race fuzz-short experiments-smoke obs-smoke
 
 all: build lint test
 
@@ -34,3 +34,13 @@ fuzz-short:
 
 experiments-smoke:
 	$(GO) run ./cmd/experiments -id fig2 -insts 2000 -metrics
+
+# Matches the CI obs-smoke job: one observed run producing a
+# Konata-loadable pipeline trace plus the interval metrics CSV.
+obs-smoke:
+	mkdir -p obs-artifacts
+	$(GO) run ./cmd/heliossim -workload crc32 -insts 50000 \
+		-pipeview obs-artifacts/crc32.pipeview \
+		-events obs-artifacts/crc32.events.ndjson \
+		-interval-metrics obs-artifacts/crc32.intervals.csv \
+		-interval 1000

@@ -7,6 +7,7 @@
 //	experiments -insts 100000    # smaller budget per run
 //	experiments -csv             # machine-readable output
 //	experiments -workloads xz,gcc,typeset
+//	experiments -obs out/ -obs-mode Helios   # per-workload pipeline traces
 package main
 
 import (
@@ -15,10 +16,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"helios/internal/experiments"
 	"helios/internal/fusion"
+	"helios/internal/obs"
 	"helios/internal/ooo"
 )
 
@@ -31,6 +34,10 @@ func main() {
 		metrics  = flag.Bool("metrics", false, "print record/replay trace-layer counters after the tables (deterministic: byte-identical across identical runs)")
 		walltime = flag.Bool("walltime", false, "also print wall-time breakdown to stderr (nondeterministic)")
 		timeout  = flag.Duration("timeout", 0, "abort the whole suite after this wall time (0 = no limit)")
+
+		obsDir      = flag.String("obs", "", "observed-suite mode: write per-workload pipeview/events/interval files into this directory and exit")
+		obsMode     = flag.String("obs-mode", "Helios", "fusion configuration for -obs runs")
+		obsInterval = flag.Uint64("obs-interval", 10000, "interval sampler period in cycles for -obs runs")
 	)
 	flag.Parse()
 
@@ -44,6 +51,11 @@ func main() {
 	h := experiments.New(*insts)
 	if *worklist != "" {
 		h.Workloads = strings.Split(*worklist, ",")
+	}
+
+	if *obsDir != "" {
+		runObserved(ctx, h, *obsDir, *obsMode, *obsInterval)
+		return
 	}
 
 	emit := func(idName string) {
@@ -85,4 +97,62 @@ func main() {
 		emit(idName)
 	}
 	finish()
+}
+
+// runObserved is the -obs suite mode: one observed replay per workload,
+// each producing a Konata-loadable O3PipeView trace, an NDJSON event
+// stream and an interval CSV under dir.
+func runObserved(ctx context.Context, h *experiments.Harness, dir, modeName string, interval uint64) {
+	m, ok := fusion.ModeByName(modeName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown -obs-mode %q\n", modeName)
+		os.Exit(1)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for _, name := range h.Workloads {
+		if err := observeOne(ctx, h, dir, name, m, interval); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			var se *ooo.SimError
+			if errors.As(err, &se) {
+				fmt.Fprintf(os.Stderr, "\ncrash dump:\n%s\n", se.JSON())
+			}
+			os.Exit(1)
+		}
+	}
+}
+
+// observeOne runs a single observed replay, writing the three trace
+// files for one workload.
+func observeOne(ctx context.Context, h *experiments.Harness, dir, name string, m fusion.Mode, interval uint64) error {
+	pv, err := os.Create(filepath.Join(dir, name+".pipeview"))
+	if err != nil {
+		return err
+	}
+	evf, err := os.Create(filepath.Join(dir, name+".events.ndjson"))
+	if err != nil {
+		pv.Close()
+		return err
+	}
+	mf, err := os.Create(filepath.Join(dir, name+".intervals.csv"))
+	if err != nil {
+		pv.Close()
+		evf.Close()
+		return err
+	}
+	ob := &obs.Observer{PipeView: pv, Events: evf, Metrics: mf, SampleEvery: interval}
+	r, runErr := h.Observe(ctx, name, m, ob)
+	for _, f := range []*os.File{pv, evf, mf} {
+		if cerr := f.Close(); cerr != nil && runErr == nil {
+			runErr = cerr
+		}
+	}
+	if runErr != nil {
+		return runErr
+	}
+	fmt.Printf("%-14s %s/%v: %d insts, %d cycles, IPC %.3f\n",
+		name, dir, m, r.Stats.CommittedInsts, r.Stats.Cycles, r.Stats.IPC())
+	return nil
 }

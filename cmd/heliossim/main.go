@@ -7,6 +7,8 @@
 //	heliossim -workload xz -trace-out xz.trace.gz   # record the stream
 //	heliossim -trace-in xz.trace.gz -compare        # replay it per config
 //	heliossim -workload xz -timeout 30s             # bound the wall time
+//	heliossim -workload crc32 -pipeview crc32.pv    # Konata-loadable trace
+//	heliossim -workload crc32 -interval-metrics m.csv -interval 1000
 //	heliossim -list
 package main
 
@@ -16,11 +18,15 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof" // -pprof serves the default mux
 	"os"
+	"runtime/pprof"
 	"strings"
 
 	"helios/internal/core"
 	"helios/internal/fusion"
+	"helios/internal/obs"
 	"helios/internal/ooo"
 	"helios/internal/stats"
 	"helios/internal/trace"
@@ -38,8 +44,38 @@ func main() {
 		traceIn  = flag.String("trace-in", "", "simulate a previously recorded stream instead of emulating")
 		timeout  = flag.Duration("timeout", 0, "abort the whole run after this wall time (0 = no limit)")
 		jsonOut  = flag.Bool("json", false, "dump the full statistics as JSON instead of the human-readable report")
+
+		pipeview    = flag.String("pipeview", "", "write a gem5 O3PipeView pipeline trace (Konata-loadable) to this file")
+		events      = flag.String("events", "", "write per-µop NDJSON pipeline events to this file")
+		intervalCSV = flag.String("interval-metrics", "", "write the interval metrics time series (CSV) to this file")
+		interval    = flag.Uint64("interval", 10000, "interval sampler period in cycles (with -interval-metrics)")
+
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. :6060) for host-side profiling")
+		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the simulator itself to this file")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "pprof server: %v\n", err)
+			}
+		}()
+		fmt.Printf("pprof: http://%s/debug/pprof/\n", *pprofAddr)
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
 
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -107,6 +143,13 @@ func main() {
 		fmt.Printf("wrote %s: %d µ-ops, %d bytes compressed\n\n", *traceOut, rec.Len(), n)
 	}
 
+	// Observability sinks (single-run mode only: one run, one trace).
+	obsOn := *pipeview != "" || *events != "" || *intervalCSV != ""
+	if obsOn && *compare {
+		fmt.Fprintln(os.Stderr, "-pipeview/-events/-interval-metrics apply to a single run; drop -compare")
+		os.Exit(1)
+	}
+
 	// Phase two: replay through the cycle-level model.
 	if *compare {
 		runCompare(ctx, name, rec)
@@ -117,17 +160,53 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown mode %q; want one of %s\n", *mode, modeNames())
 		os.Exit(1)
 	}
+	cfg := ooo.DefaultConfig(m)
+	var ob *obs.Observer
+	if obsOn {
+		var closers []func() error
+		ob = &obs.Observer{SampleEvery: *interval}
+		open := func(path string) *os.File {
+			f, err := os.Create(path)
+			if err != nil {
+				fatal(err)
+			}
+			closers = append(closers, f.Close)
+			return f
+		}
+		if *pipeview != "" {
+			ob.PipeView = open(*pipeview)
+		}
+		if *events != "" {
+			ob.Events = open(*events)
+		}
+		if *intervalCSV != "" {
+			ob.Metrics = open(*intervalCSV)
+		}
+		defer func() {
+			for _, c := range closers {
+				if err := c(); err != nil {
+					fmt.Fprintf(os.Stderr, "closing trace output: %v\n", err)
+				}
+			}
+		}()
+		cfg.Obs = ob
+	}
 	var (
 		r   *core.Result
 		err error
 	)
 	if rec != nil {
-		r, err = core.RunSource(ctx, name, ooo.DefaultConfig(m), rec.Replay(), 0)
+		r, err = core.RunSource(ctx, name, cfg, rec.Replay(), 0)
 	} else {
-		r, err = core.Run(ctx, w, m, *insts)
+		r, err = core.RunConfig(ctx, w, cfg, *insts)
 	}
 	if err != nil {
 		fatal(err)
+	}
+	if ob != nil {
+		if oerr := ob.Err(); oerr != nil {
+			fatal(fmt.Errorf("observer: %w", oerr))
+		}
 	}
 	if *jsonOut {
 		printJSON(r)

@@ -8,6 +8,9 @@ type BTB struct {
 	ways    int
 	entries []btbEntry // sets × ways
 	clock   uint64     // global access stamp for LRU
+
+	// Stats.
+	Hits, Misses uint64
 }
 
 type btbEntry struct {
@@ -35,9 +38,11 @@ func (b *BTB) Lookup(pc uint64) (target uint64, ok bool) {
 		if set[i].valid && set[i].tag == pc {
 			b.clock++
 			set[i].stamp = b.clock
+			b.Hits++
 			return set[i].target, true
 		}
 	}
+	b.Misses++
 	return 0, false
 }
 

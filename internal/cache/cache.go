@@ -191,6 +191,25 @@ func (h *Hierarchy) L2() *Level { return h.l2 }
 // LLC exposes the last-level cache (for stats).
 func (h *Hierarchy) LLC() *Level { return h.llc }
 
+// Counters is a value snapshot of the hierarchy's hit/miss counts, the
+// shape the interval sampler consumes (building one allocates nothing).
+type Counters struct {
+	L1IHits, L1IMisses uint64
+	L1DHits, L1DMisses uint64
+	L2Hits, L2Misses   uint64
+	LLCHits, LLCMisses uint64
+}
+
+// Counters snapshots the per-level hit/miss counts.
+func (h *Hierarchy) Counters() Counters {
+	return Counters{
+		L1IHits: h.l1i.Hits, L1IMisses: h.l1i.Misses,
+		L1DHits: h.l1d.Hits, L1DMisses: h.l1d.Misses,
+		L2Hits: h.l2.Hits, L2Misses: h.l2.Misses,
+		LLCHits: h.llc.Hits, LLCMisses: h.llc.Misses,
+	}
+}
+
 // FetchLatency models an instruction fetch of pc.
 func (h *Hierarchy) FetchLatency(pc uint64, cycle uint64) int {
 	return h.l1i.Access(pc, cycle)

@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"helios/internal/fusion"
+	"helios/internal/obs"
 	"helios/internal/ooo"
 	"helios/internal/trace"
 	"helios/internal/workloads"
@@ -278,6 +279,41 @@ func (s *Suite) replay(ctx context.Context, name string, mode fusion.Mode, rec *
 	s.metrics.SimTime += time.Since(start)
 	s.mu.Unlock()
 	return r, err
+}
+
+// ObserveReplay replays the workload's shared recording under the given
+// mode with the observability layer attached. The run is never cached
+// (an observed Result is a side-effecting run, and the observer's
+// writers are caller-owned), but it reuses the suite's record-once
+// trace, so observing costs one replay, not a re-emulation. Replay
+// determinism guarantees the observed run retires the same stream as
+// the cached Get result for the same key.
+func (s *Suite) ObserveReplay(ctx context.Context, name string, mode fusion.Mode, ob *obs.Observer) (*Result, error) {
+	w, ok := workloads.ByName(name)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown workload %q", name)
+	}
+	budget := s.budget(w)
+	rec, err := s.recording(ctx, w, budget)
+	if err != nil {
+		return nil, err
+	}
+	cfg := ooo.DefaultConfig(mode)
+	cfg.Obs = ob
+	start := time.Now()
+	r, err := RunSource(ctx, name, cfg, rec.Replay(), budget)
+	s.mu.Lock()
+	s.metrics.Replays++
+	s.metrics.PipelineRuns++
+	s.metrics.SimTime += time.Since(start)
+	s.mu.Unlock()
+	if err != nil {
+		return r, err
+	}
+	if oerr := ob.Err(); oerr != nil {
+		return r, fmt.Errorf("core: %s/%v: observer: %w", name, mode, oerr)
+	}
+	return r, nil
 }
 
 // Recording returns the workload's committed stream at the suite's

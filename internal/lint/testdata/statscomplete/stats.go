@@ -46,3 +46,21 @@ func (s *SumStats) total() uint64 { return s.A + s.B }
 func (s *SumStats) Rows() [][2]string {
 	return [][2]string{{"total", strconv.FormatUint(s.total(), 10)}}
 }
+
+// SeriesStats dumps through the CSV time-series surface (Header/Row, as
+// the obs interval sampler does). Samples is referenced from Row, but
+// Drops never reaches any surface.
+type SeriesStats struct {
+	Cycle   uint64
+	Samples uint64
+	Drops   uint64 // want "SeriesStats.Drops is never referenced"
+}
+
+func (s SeriesStats) Header() []string { return []string{"cycle", "samples"} }
+
+func (s SeriesStats) Row(prev SeriesStats) []string {
+	return []string{
+		strconv.FormatUint(s.Cycle, 10),
+		strconv.FormatUint(s.Samples-prev.Samples, 10),
+	}
+}

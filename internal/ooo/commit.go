@@ -106,6 +106,19 @@ func (p *Pipeline) accountCommit(u *pUop) {
 	p.recentCount++
 	p.st.CommittedUops++
 	p.st.CommittedInsts += u.archInstCount()
+	if u.issuedAt >= u.renamedAt {
+		p.st.IssueWaitHist.Observe(u.issuedAt - u.renamedAt)
+	}
+	if u.isLoad() && u.completeAt >= u.issuedAt {
+		p.st.LoadToUseHist.Observe(u.completeAt - u.issuedAt)
+	}
+	if p.flushPending {
+		p.flushPending = false
+		p.st.FlushRecoveryHist.Observe(p.cycle - p.flushedAt)
+	}
+	if p.obs != nil {
+		p.obsEmit(u, true)
+	}
 	if u.r.MemSize != 0 {
 		p.st.CommittedMem++
 	}

@@ -19,6 +19,7 @@ import (
 	"helios/internal/cache"
 	"helios/internal/fusion"
 	"helios/internal/helios"
+	"helios/internal/obs"
 )
 
 // Config describes the simulated machine.
@@ -84,6 +85,10 @@ type Config struct {
 	// the choice deterministic.
 	ChaosFlushInterval uint64
 	ChaosSeed          int64
+
+	// Obs attaches the observability layer (nil = disabled; the hook
+	// sites reduce to a nil check on this concrete pointer).
+	Obs *obs.Observer
 }
 
 // DefaultConfig returns the Table II machine: 8-wide fetch/decode feeding

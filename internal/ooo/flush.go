@@ -14,6 +14,8 @@ import (
 // is lost or duplicated.
 func (p *Pipeline) flushFrom(from uint64) {
 	p.st.Flushes++
+	p.flushedAt = p.cycle
+	p.flushPending = true
 
 	// Unfuse surviving fused µ-ops whose tail lies in the flushed region.
 	for i := 0; i < p.rob.len(); i++ {
@@ -36,6 +38,9 @@ func (p *Pipeline) flushFrom(from uint64) {
 		}
 		u.st = stKilled
 		ghrRestore, haveGhr = u.ghr, true
+		if p.obs != nil && !u.isTailNucleus {
+			p.obsEmit(u, false)
+		}
 		// A killed tail nucleus whose head survives in the AQ (not yet
 		// renamed) must release the head, or it would wait forever.
 		if u.isTailNucleus && u.headUop != nil && u.headUop.st == stDecoded {
@@ -53,6 +58,9 @@ func (p *Pipeline) flushFrom(from uint64) {
 		p.rob.popBack()
 		u.st = stKilled
 		ghrRestore, haveGhr = u.ghr, true
+		if p.obs != nil {
+			p.obsEmit(u, false)
+		}
 		for i := 0; i < int(u.numDst); i++ {
 			if preg := u.dstPhys[i]; preg >= 0 {
 				p.freePhys(preg)

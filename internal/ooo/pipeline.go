@@ -12,6 +12,7 @@ import (
 	"helios/internal/helios"
 	"helios/internal/isa"
 	"helios/internal/memdep"
+	"helios/internal/obs"
 	"helios/internal/trace"
 )
 
@@ -88,6 +89,13 @@ type Pipeline struct {
 	// Chaos fault injection (cfg.ChaosFlushInterval > 0).
 	chaosRand *rand.Rand
 
+	// Observability (cfg.Obs; nil when disabled). flushedAt/flushPending
+	// feed the flush-recovery latency histogram: armed by flushFrom,
+	// observed at the next commit.
+	obs          *obs.Observer
+	flushedAt    uint64
+	flushPending bool
+
 	cycle uint64
 	st    Stats
 }
@@ -107,6 +115,7 @@ func New(cfg Config, src trace.Source) *Pipeline {
 		events:       make(map[uint64][]*pUop),
 		storeSets:    memdep.New(cfg.StoreSetLogSize, cfg.StoreSetLogSets),
 		plannedPairs: make(map[uint64]fusion.Pairing),
+		obs:          cfg.Obs,
 	}
 	// Physical register file: the first 32 back the initial RAT.
 	p.regReady = make([]bool, cfg.PhysRegs)
@@ -213,6 +222,10 @@ func (p *Pipeline) run(ctx context.Context, checkEvery uint64) (st *Stats, err e
 			p.st.ChaosFlushes++
 		}
 
+		if p.obs != nil && p.obs.SampleEvery > 0 && p.cycle%p.obs.SampleEvery == 0 {
+			p.obsSample()
+		}
+
 		if checkEvery > 0 && p.cycle%checkEvery == 0 {
 			if ierr := p.CheckInvariants(); ierr != nil {
 				return &p.st, p.failure(FailInvariant,
@@ -234,6 +247,10 @@ func (p *Pipeline) run(ctx context.Context, checkEvery uint64) (st *Stats, err e
 			return &p.st, se
 		}
 		return &p.st, p.failure(FailStream, "committed stream ended on a fault", p.streamErr)
+	}
+	// Emit the final partial interval so short runs still produce a row.
+	if p.obs != nil && p.obs.SampleEvery > 0 && p.cycle%p.obs.SampleEvery != 0 {
+		p.obsSample()
 	}
 	return &p.st, nil
 }

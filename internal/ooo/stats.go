@@ -3,6 +3,7 @@ package ooo
 import (
 	"fmt"
 
+	"helios/internal/stats"
 	"helios/internal/uop"
 )
 
@@ -62,6 +63,12 @@ type Stats struct {
 	MispredictResolveLat uint64
 	MispredictAQLat      uint64
 	MispredictIssueLat   uint64
+
+	// Latency distributions (fixed integer buckets, observed at commit,
+	// reported as count/mean/P50/P95/P99 in Rows).
+	IssueWaitHist     stats.Histogram // rename → issue wait per retired µ-op
+	LoadToUseHist     stats.Histogram // issue → complete latency of retired loads
+	FlushRecoveryHist stats.Histogram // flush → first subsequent commit
 }
 
 // IPC returns committed architectural instructions per cycle.
@@ -179,7 +186,7 @@ func (s *Stats) Rows() [][2]string {
 		rows = append(rows, [2]string{
 			fmt.Sprintf("unfuse_reasons[%s]", reasons[i]), u(v)})
 	}
-	return append(rows, [][2]string{
+	rows = append(rows, [][2]string{
 		{"nest_limit_drops", u(s.NestLimitDrops)},
 		{"fusion_predictions", u(s.FusionPredictions)},
 		{"fusion_mispredicts", u(s.FusionMispredicts)},
@@ -201,4 +208,7 @@ func (s *Stats) Rows() [][2]string {
 		{"mispredict_aq_lat", u(s.MispredictAQLat)},
 		{"mispredict_issue_lat", u(s.MispredictIssueLat)},
 	}...)
+	rows = append(rows, s.IssueWaitHist.Rows("issue_wait")...)
+	rows = append(rows, s.LoadToUseHist.Rows("load_to_use")...)
+	return append(rows, s.FlushRecoveryHist.Rows("flush_recovery")...)
 }

@@ -28,6 +28,25 @@ func fillStats(t *testing.T) *Stats {
 				f.Index(j).SetUint(next)
 				next++
 			}
+		case reflect.Struct:
+			// Embedded aggregates (stats.Histogram): fill their scalar and
+			// array subfields the same way.
+			for j := 0; j < f.NumField(); j++ {
+				sub := f.Field(j)
+				switch sub.Kind() {
+				case reflect.Uint64:
+					sub.SetUint(next)
+					next++
+				case reflect.Array:
+					for k := 0; k < sub.Len(); k++ {
+						sub.Index(k).SetUint(next)
+						next++
+					}
+				default:
+					t.Fatalf("Stats.%s.%s has unhandled kind %v: extend fillStats",
+						v.Type().Field(i).Name, f.Type().Field(j).Name, sub.Kind())
+				}
+			}
 		default:
 			t.Fatalf("Stats.%s has unhandled kind %v: extend fillStats and the dump surface",
 				v.Type().Field(i).Name, f.Kind())
@@ -85,9 +104,13 @@ func TestStatsRowsComplete(t *testing.T) {
 		if !f.IsExported() {
 			continue
 		}
-		if f.Type.Kind() == reflect.Array {
+		switch f.Type.Kind() {
+		case reflect.Array:
 			wantSlots += f.Type.Len()
-		} else {
+		case reflect.Struct:
+			// Histograms summarize as five rows: count, mean, p50/95/99.
+			wantSlots += 5
+		default:
 			wantSlots++
 		}
 	}
