@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build lint test race fuzz-short experiments-smoke obs-smoke
+.PHONY: all build lint test race fuzz-short experiments-smoke obs-smoke report-smoke
 
 all: build lint test
 
@@ -44,3 +44,18 @@ obs-smoke:
 		-events obs-artifacts/crc32.events.ndjson \
 		-interval-metrics obs-artifacts/crc32.intervals.csv \
 		-interval 1000
+
+# Matches the CI report-smoke job: simulate one MiBench kernel under the
+# NoFusion baseline and Helios, emit per-run manifests, and render the
+# cross-run differential report.
+report-smoke:
+	mkdir -p report-artifacts/baseline report-artifacts/helios
+	$(GO) run ./cmd/heliossim -workload bitcount -insts 50000 -mode NoFusion \
+		-manifest report-artifacts/baseline/bitcount.json
+	$(GO) run ./cmd/heliossim -workload bitcount -insts 50000 -mode Helios \
+		-manifest report-artifacts/helios/bitcount.json
+	$(GO) run ./cmd/heliosreport \
+		-baseline report-artifacts/baseline -target report-artifacts/helios \
+		-baseline-label NoFusion -target-label Helios \
+		-out report-artifacts/diff.md -csv report-artifacts/diff.csv
+	@head -n 30 report-artifacts/diff.md

@@ -38,6 +38,9 @@ func main() {
 		obsDir      = flag.String("obs", "", "observed-suite mode: write per-workload pipeview/events/interval files into this directory and exit")
 		obsMode     = flag.String("obs-mode", "Helios", "fusion configuration for -obs runs")
 		obsInterval = flag.Uint64("obs-interval", 10000, "interval sampler period in cycles for -obs runs")
+
+		manifestDir  = flag.String("manifest", "", "manifest mode: write one per-run JSON manifest per workload into this directory and exit (input for heliosreport)")
+		manifestMode = flag.String("manifest-mode", "Helios", "fusion configuration for -manifest runs")
 	)
 	flag.Parse()
 
@@ -55,6 +58,24 @@ func main() {
 
 	if *obsDir != "" {
 		runObserved(ctx, h, *obsDir, *obsMode, *obsInterval)
+		return
+	}
+
+	if *manifestDir != "" {
+		m, ok := fusion.ModeByName(*manifestMode)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown -manifest-mode %q\n", *manifestMode)
+			os.Exit(1)
+		}
+		if err := h.WriteManifests(ctx, *manifestDir, m); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			var se *ooo.SimError
+			if errors.As(err, &se) {
+				fmt.Fprintf(os.Stderr, "\ncrash dump:\n%s\n", se.JSON())
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d manifests (%s) to %s\n", len(h.Workloads), m, *manifestDir)
 		return
 	}
 

@@ -28,6 +28,7 @@ import (
 	"helios/internal/fusion"
 	"helios/internal/obs"
 	"helios/internal/ooo"
+	"helios/internal/report"
 	"helios/internal/stats"
 	"helios/internal/trace"
 	"helios/internal/workloads"
@@ -44,6 +45,7 @@ func main() {
 		traceIn  = flag.String("trace-in", "", "simulate a previously recorded stream instead of emulating")
 		timeout  = flag.Duration("timeout", 0, "abort the whole run after this wall time (0 = no limit)")
 		jsonOut  = flag.Bool("json", false, "dump the full statistics as JSON instead of the human-readable report")
+		manifest = flag.String("manifest", "", "write a per-run JSON manifest (config + stats + build identity) to this file")
 
 		pipeview    = flag.String("pipeview", "", "write a gem5 O3PipeView pipeline trace (Konata-loadable) to this file")
 		events      = flag.String("events", "", "write per-µop NDJSON pipeline events to this file")
@@ -208,6 +210,12 @@ func main() {
 			fatal(fmt.Errorf("observer: %w", oerr))
 		}
 	}
+	if *manifest != "" {
+		m := report.NewManifest(r.Workload, r.Mode, cfg, r.Stats)
+		if err := m.WriteFile(*manifest); err != nil {
+			fatal(err)
+		}
+	}
 	if *jsonOut {
 		printJSON(r)
 		return
@@ -217,14 +225,16 @@ func main() {
 
 // printJSON dumps the complete statistics surface: every Stats counter
 // (the reflection round-trip test in internal/ooo pins the field set)
-// plus the run identity. Output is deterministic for a given trace and
-// configuration, so two runs can be diffed byte-for-byte.
+// plus the run identity and the binary's build provenance. The stats
+// are deterministic for a given trace and configuration, so two runs of
+// the same build can be diffed byte-for-byte.
 func printJSON(r *core.Result) {
 	out := struct {
-		Workload string    `json:"workload"`
-		Mode     string    `json:"mode"`
-		Stats    ooo.Stats `json:"stats"`
-	}{r.Workload, r.Mode.String(), r.Stats}
+		Workload string           `json:"workload"`
+		Mode     string           `json:"mode"`
+		Build    report.BuildInfo `json:"build"`
+		Stats    ooo.Stats        `json:"stats"`
+	}{r.Workload, r.Mode.String(), report.Build(), r.Stats}
 	b, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
 		fatal(err)
@@ -299,7 +309,17 @@ func printResult(r *core.Result) {
 		s.STLForwards, s.StoreSetViolations, s.Flushes)
 
 	cyc := float64(s.Cycles)
-	fmt.Printf("structural stalls:  regs %.1f%%, rob %.1f%%, iq %.1f%%, lq %.1f%%, sq %.1f%%\n",
+	fmt.Printf("structural stalls:  regs %.1f%%, rob %.1f%%, iq %.1f%%, lq %.1f%%, sq %.1f%%, aq %.1f%%\n",
 		100*float64(s.StallFreeList)/cyc, 100*float64(s.StallROB)/cyc,
-		100*float64(s.StallIQ)/cyc, 100*float64(s.StallLQ)/cyc, 100*float64(s.StallSQ)/cyc)
+		100*float64(s.StallIQ)/cyc, 100*float64(s.StallLQ)/cyc,
+		100*float64(s.StallSQ)/cyc, 100*float64(s.StallAQ)/cyc)
+
+	if budget := s.TopDown.SlotBudget(); budget > 0 {
+		td := &s.TopDown
+		p := func(v uint64) float64 { return 100 * float64(v) / float64(budget) }
+		fmt.Printf("top-down slots:     retiring %.1f%% (+%.1f%% fused), fe-lat %.1f%%, fe-bw %.1f%%, bad-spec %.1f%%, be-core %.1f%%, be-mem %.1f%%\n",
+			p(td.Retiring), p(td.FusedRetiring), p(td.FrontendLatency),
+			p(td.FrontendBandwidth), p(td.BadSpeculation), p(td.BackendCore),
+			p(td.BackendMemory()))
+	}
 }

@@ -3,6 +3,7 @@ package chaos
 import (
 	"bytes"
 	"compress/gzip"
+	"fmt"
 	"io"
 
 	"helios/internal/trace"
@@ -73,6 +74,28 @@ func FlipBit(file []byte, byteIdx int, bit uint) []byte {
 	out := append([]byte(nil), file...)
 	out[byteIdx%len(out)] ^= 1 << (bit % 8)
 	return out
+}
+
+// FaultyWriter is a byte-budgeted sink for the observability outputs:
+// it accepts writes until the next one would exceed Limit, then fails
+// every subsequent attempt with ErrInjected — the shape of a disk
+// filling up (or a pipe closing) mid-trace. Writes counts attempts
+// including rejected ones, so a test can prove a sticky error latch
+// stopped calling Write at all.
+type FaultyWriter struct {
+	Limit  int // bytes accepted before the fault fires
+	N      int // bytes accepted so far
+	Writes int // write attempts, including rejected ones
+}
+
+// Write implements io.Writer with the budgeted fault.
+func (w *FaultyWriter) Write(p []byte) (int, error) {
+	w.Writes++
+	if w.N+len(p) > w.Limit {
+		return 0, fmt.Errorf("%w: write rejected after %d bytes", ErrInjected, w.N)
+	}
+	w.N += len(p)
+	return len(p), nil
 }
 
 // RecordingsEqual reports whether two recordings are bit-identical in

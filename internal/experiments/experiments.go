@@ -241,7 +241,7 @@ func (h *Harness) Figure9(ctx context.Context) (*stats.Table, error) {
 	modes := []fusion.Mode{fusion.ModeNoFusion, fusion.ModeHelios, fusion.ModeOracle}
 	t := stats.NewTable(
 		"Figure 9: structural stall cycles (% of total cycles)",
-		"benchmark", "config", "rename(regs)", "rob", "iq", "lq", "sq", "total")
+		"benchmark", "config", "rename(regs)", "rob", "iq", "lq", "sq", "aq", "total")
 	for _, name := range h.Workloads {
 		for _, m := range modes {
 			r, err := h.Suite.Get(ctx, name, m)
@@ -256,6 +256,7 @@ func (h *Harness) Figure9(ctx context.Context) (*stats.Table, error) {
 				stats.Pct(float64(s.StallIQ)/cyc, 1),
 				stats.Pct(float64(s.StallLQ)/cyc, 1),
 				stats.Pct(float64(s.StallSQ)/cyc, 1),
+				stats.Pct(float64(s.StallAQ)/cyc, 1),
 				stats.Pct(float64(s.StallCycles())/cyc, 1))
 		}
 	}

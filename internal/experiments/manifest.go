@@ -1,0 +1,34 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"helios/internal/fusion"
+	"helios/internal/ooo"
+	"helios/internal/report"
+)
+
+// WriteManifests runs every workload of the harness under the given
+// fusion mode (through the suite's shared recording cache, so a
+// baseline and a target directory built from one harness replay the
+// exact same committed streams) and writes one per-run JSON manifest
+// per workload into dir — the input format of cmd/heliosreport.
+func (h *Harness) WriteManifests(ctx context.Context, dir string, mode fusion.Mode) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("experiments: %w", err)
+	}
+	for _, name := range h.Workloads {
+		r, err := h.Suite.Get(ctx, name, mode)
+		if err != nil {
+			return fmt.Errorf("experiments: %s/%v: %w", name, mode, err)
+		}
+		m := report.NewManifest(name, mode, ooo.DefaultConfig(mode), r.Stats)
+		if err := m.WriteFile(filepath.Join(dir, name+".json")); err != nil {
+			return fmt.Errorf("experiments: %s/%v: %w", name, mode, err)
+		}
+	}
+	return nil
+}

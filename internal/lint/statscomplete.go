@@ -87,18 +87,46 @@ func (p *Pass) checkStatsType(typeName string, st *ast.StructType) {
 	}
 }
 
-// numericField reports whether the field's type is numeric or an array
-// of numerics — the shapes used for counters and histograms.
+// numericField reports whether the field's type is counter-shaped —
+// the shapes the pipeline uses for statistics.
 func (p *Pass) numericField(fd *ast.Field) bool {
 	tv, ok := p.TypesInfo.Types[fd.Type]
 	if !ok {
 		return false
 	}
-	t := tv.Type.Underlying()
-	if arr, ok := t.(*types.Array); ok {
-		t = arr.Elem().Underlying()
+	return counterShape(tv.Type, true)
+}
+
+// counterShape reports whether t is a numeric basic type, an array of
+// counters, or (at the field's top level only) a pure counter aggregate:
+// a struct whose exported fields are all themselves counter-shaped —
+// the shape of stats.Histogram and stats.TopDown. Aggregates embedded
+// in a *Stats struct carry counters the same way scalar fields do, so
+// skipping them would let a whole sub-account (e.g. the top-down slot
+// buckets) go silently unreported.
+func counterShape(t types.Type, allowStruct bool) bool {
+	u := t.Underlying()
+	if arr, ok := u.(*types.Array); ok {
+		return counterShape(arr.Elem(), allowStruct)
 	}
-	b, ok := t.(*types.Basic)
+	if st, ok := u.(*types.Struct); ok {
+		if !allowStruct {
+			return false
+		}
+		exported := 0
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			if !f.Exported() {
+				continue
+			}
+			exported++
+			if !counterShape(f.Type(), false) {
+				return false
+			}
+		}
+		return exported > 0
+	}
+	b, ok := u.(*types.Basic)
 	return ok && b.Info()&types.IsNumeric != 0
 }
 

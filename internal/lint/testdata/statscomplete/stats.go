@@ -64,3 +64,34 @@ func (s SeriesStats) Row(prev SeriesStats) []string {
 		strconv.FormatUint(s.Samples-prev.Samples, 10),
 	}
 }
+
+// WaitAgg is a pure counter aggregate (the shape of stats.Histogram and
+// stats.TopDown): a struct of numerics and numeric arrays.
+type WaitAgg struct {
+	Count   uint64
+	Buckets [4]uint64
+}
+
+// Opaque mixes in a non-counter field, so fields of this type are not
+// audited as counters.
+type Opaque struct {
+	Name  string
+	Total uint64
+}
+
+// AggStats embeds counter aggregates: Waits reaches the surface, Slots
+// is a collected-but-unreported sub-account, and Meta is not
+// counter-shaped so the analyzer leaves it alone.
+type AggStats struct {
+	Cycles uint64
+	Waits  WaitAgg
+	Slots  WaitAgg // want "AggStats.Slots is never referenced"
+	Meta   Opaque
+}
+
+func (s *AggStats) Rows() [][2]string {
+	return [][2]string{
+		{"cycles", strconv.FormatUint(s.Cycles, 10)},
+		{"wait_count", strconv.FormatUint(s.Waits.Count, 10)},
+	}
+}

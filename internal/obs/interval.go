@@ -2,6 +2,7 @@ package obs
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 )
 
@@ -35,6 +36,18 @@ type IntervalStats struct {
 	LQOcc  uint64
 	SQOcc  uint64
 	AQOcc  uint64
+
+	// Top-down slot buckets (running totals; the four memory levels are
+	// pre-summed into TDBackendMem for the time series). Their interval
+	// deltas are rendered signed: squash/unfuse reclassification can
+	// move slots out of a bucket between two samples.
+	TDRetiring      uint64
+	TDFusedRetiring uint64
+	TDFrontendLat   uint64
+	TDFrontendBW    uint64
+	TDBadSpec       uint64
+	TDBackendCore   uint64
+	TDBackendMem    uint64
 }
 
 // intervalHeader must match Row's column order exactly.
@@ -43,6 +56,8 @@ var intervalHeader = []string{
 	"fp_predictions", "fp_mispredicts", "branches", "branch_mispredicts",
 	"mpki_milli", "btb_misses", "l1d_misses", "l2_misses", "llc_misses",
 	"flushes", "rob_occ", "iq_occ", "lq_occ", "sq_occ", "aq_occ",
+	"td_retiring", "td_fused_retiring", "td_frontend_lat", "td_frontend_bw",
+	"td_bad_spec", "td_backend_core", "td_backend_mem",
 }
 
 // Header returns the CSV column names, aligned with Row.
@@ -86,10 +101,23 @@ func (s IntervalStats) Row(prev IntervalStats) []string {
 		s.SQOcc,
 		s.AQOcc,
 	}
-	out := make([]string, len(cols))
-	for i, v := range cols {
-		out[i] = fmt.Sprint(v)
+	out := make([]string, 0, len(intervalHeader))
+	for _, v := range cols {
+		out = append(out, fmt.Sprint(v))
 	}
+	// Top-down deltas are signed: reclassification (squash, unfuse) can
+	// shrink a cumulative bucket between samples, and an unsigned
+	// rendering would print the wrapped difference.
+	sd := func(cur, prev uint64) string { return strconv.FormatInt(int64(cur-prev), 10) }
+	out = append(out,
+		sd(s.TDRetiring, prev.TDRetiring),
+		sd(s.TDFusedRetiring, prev.TDFusedRetiring),
+		sd(s.TDFrontendLat, prev.TDFrontendLat),
+		sd(s.TDFrontendBW, prev.TDFrontendBW),
+		sd(s.TDBadSpec, prev.TDBadSpec),
+		sd(s.TDBackendCore, prev.TDBackendCore),
+		sd(s.TDBackendMem, prev.TDBackendMem),
+	)
 	return out
 }
 

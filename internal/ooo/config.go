@@ -87,8 +87,10 @@ type Config struct {
 	ChaosSeed          int64
 
 	// Obs attaches the observability layer (nil = disabled; the hook
-	// sites reduce to a nil check on this concrete pointer).
-	Obs *obs.Observer
+	// sites reduce to a nil check on this concrete pointer). Excluded
+	// from JSON: run manifests serialize Config, and an observer is a
+	// per-run wiring detail, not machine configuration.
+	Obs *obs.Observer `json:"-"`
 }
 
 // DefaultConfig returns the Table II machine: 8-wide fetch/decode feeding

@@ -229,13 +229,17 @@ func (p *Pipeline) issue(u *pUop) {
 		switch {
 		case u.slowForward:
 			// Replay: merge store-buffer bytes with the cache line.
-			lat = p.mem.DataLatency(lo, span, p.cycle) + 4
+			lat = p.mem.DataLatency(lo, span, p.cycle)
+			u.memLevel = p.classifyMemLevel(lat) // before the merge penalty
+			lat += 4
 			p.st.STLForwards++
 		case u.forwarded:
 			lat = p.cfg.Cache.L1D.Latency // forwarded from the store buffer
+			u.memLevel = memL1D
 			p.st.STLForwards++
 		default:
 			lat = p.mem.DataLatency(lo, span, p.cycle)
+			u.memLevel = p.classifyMemLevel(lat)
 		}
 		if u.kind.IsMemory() && !u.unfused && uop.CrossesLine(lo, span, p.cfg.PairCfg.LineSize) {
 			p.st.LineCrossingPairs++
@@ -410,6 +414,7 @@ func (p *Pipeline) drainStores() {
 			}
 		case s.committedSt && started < p.cfg.StoreDrainPerCycle && p.cycle >= p.drainPortFree:
 			lat := p.mem.DataLatency(s.memLo, s.memSpan, p.cycle)
+			s.memLevel = p.classifyMemLevel(lat)
 			done := p.cycle + uint64(lat)
 			if done <= p.lastDrainDone {
 				done = p.lastDrainDone + 1 // TSO: drains complete in order

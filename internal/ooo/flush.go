@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"helios/internal/fusion"
+	"helios/internal/stats"
 	"helios/internal/uop"
 )
 
@@ -16,6 +17,10 @@ func (p *Pipeline) flushFrom(from uint64) {
 	p.st.Flushes++
 	p.flushedAt = p.cycle
 	p.flushPending = true
+	// Top-down: rename idles on an empty AQ while the frontend refills
+	// — that is squash recovery, not a frontend deficiency. The flag
+	// clears at the next dispatch.
+	p.tdRecovering = true
 
 	// Unfuse surviving fused µ-ops whose tail lies in the flushed region.
 	for i := 0; i < p.rob.len(); i++ {
@@ -58,6 +63,8 @@ func (p *Pipeline) flushFrom(from uint64) {
 		p.rob.popBack()
 		u.st = stKilled
 		ghrRestore, haveGhr = u.ghr, true
+		// The dispatch slot this µ-op claimed bought no retired work.
+		p.tdReclassify(u, stats.TDBadSpeculation)
 		if p.obs != nil {
 			p.obsEmit(u, false)
 		}
@@ -164,6 +171,11 @@ func (p *Pipeline) unfuseInPlace(u *pUop) {
 	}
 	u.unfused = true
 	u.validated = true
+	// One retiring instruction now, not two: move the dispatch slot
+	// from fused-retiring back to plain retiring.
+	if u.tdBucket == int8(stats.TDFusedRetiring) {
+		p.tdReclassify(u, stats.TDRetiring)
+	}
 	p.removePendingNCSF(u)
 	// Release the tail's physical destination if the head allocated one.
 	if u.numDst > 1 {

@@ -36,7 +36,16 @@ func (p *Pipeline) frontendStage() {
 	group := make([]*pUop, 0, p.cfg.FetchWidth)
 	for len(group) < p.cfg.FetchWidth {
 		if p.aq.len()+len(group) >= p.aq.cap() {
-			break // allocation queue backpressure
+			// Allocation queue backpressure truncated this fetch group.
+			// Like the rename-side stall_* counters, the family is
+			// charged at most once per cycle to the first blocking
+			// resource: a cycle that already stalled in rename is
+			// charged there (rename runs before fetch, so the flag is
+			// current), and only an AQ-bound fetch counts here.
+			if !p.renameStalled {
+				p.st.StallAQ++
+			}
+			break
 		}
 		rec := p.fetchRecord(p.nextFetch)
 		if rec == nil {
@@ -56,7 +65,8 @@ func (p *Pipeline) frontendStage() {
 			}
 		}
 
-		u := &pUop{r: *rec, seq: rec.Seq, ghr: p.ghr.Bits(), st: stDecoded, decodedAt: p.cycle}
+		u := &pUop{r: *rec, seq: rec.Seq, ghr: p.ghr.Bits(), st: stDecoded, decodedAt: p.cycle,
+			tdBucket: -1} // no dispatch slot claimed yet
 		u.srcPhys = [3]int32{invalidReg, invalidReg, invalidReg}
 		u.dstPhys = [2]int32{invalidReg, invalidReg}
 		u.oldPhys = [2]int32{invalidReg, invalidReg}

@@ -105,6 +105,18 @@ func (p *Pipeline) CheckInvariants() error {
 		return fmt.Errorf("pending NCSF %d exceeds nest limit %d",
 			len(p.pendingNCSF), p.cfg.MaxNCSFNest)
 	}
+
+	// Top-down slot conservation (DESIGN.md §12): every simulated cycle
+	// is accounted and every bucket sum matches DispatchWidth × cycles.
+	// Holds at every between-cycle point by construction — Move is
+	// sum-preserving, so any misaccounting shows up here.
+	if p.st.TopDown.Cycles != p.st.Cycles {
+		return fmt.Errorf("top-down accounted %d cycles, pipeline ran %d",
+			p.st.TopDown.Cycles, p.st.Cycles)
+	}
+	if err := p.st.TopDown.CheckConservation(); err != nil {
+		return err
+	}
 	return nil
 }
 

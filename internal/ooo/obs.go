@@ -72,5 +72,12 @@ func (p *Pipeline) obsSample() {
 		LQOcc:             uint64(len(p.lq)),
 		SQOcc:             uint64(len(p.sq)),
 		AQOcc:             uint64(p.aq.len()),
+		TDRetiring:        p.st.TopDown.Retiring,
+		TDFusedRetiring:   p.st.TopDown.FusedRetiring,
+		TDFrontendLat:     p.st.TopDown.FrontendLatency,
+		TDFrontendBW:      p.st.TopDown.FrontendBandwidth,
+		TDBadSpec:         p.st.TopDown.BadSpeculation,
+		TDBackendCore:     p.st.TopDown.BackendCore,
+		TDBackendMem:      p.st.TopDown.BackendMemory(),
 	})
 }

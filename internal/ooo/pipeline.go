@@ -96,6 +96,14 @@ type Pipeline struct {
 	flushedAt    uint64
 	flushPending bool
 
+	// Top-down accounting state (DESIGN.md §12): tdRecovering marks
+	// rename-idle cycles after a flush as squash recovery until the
+	// next dispatch; renameStalled lets fetch charge StallAQ only on
+	// cycles rename did not already charge a stall (once-per-cycle
+	// attribution across the stall_* family).
+	tdRecovering  bool
+	renameStalled bool
+
 	cycle uint64
 	st    Stats
 }
@@ -129,6 +137,8 @@ func New(cfg Config, src trace.Source) *Pipeline {
 	for i := int32(32); i < int32(cfg.PhysRegs); i++ {
 		p.freeList = append(p.freeList, i)
 	}
+	// Top-down slot budget: DispatchWidth slots accounted per cycle.
+	p.st.TopDown.SlotsPerCycle = uint64(cfg.DispatchWidth)
 	if cfg.Mode.Predictive() {
 		if cfg.UCHLoadEntries > 0 {
 			p.uch = helios.NewUCHSize(cfg.UCHLoadEntries)

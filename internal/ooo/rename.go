@@ -4,6 +4,7 @@ import (
 	"helios/internal/emu"
 	"helios/internal/fusion"
 	"helios/internal/isa"
+	"helios/internal/stats"
 	"helios/internal/uop"
 )
 
@@ -12,36 +13,98 @@ import (
 // backend entries (ROB/IQ/LQ/SQ), stalling in order on the first exhausted
 // resource. NCSF tail nucleii flow through here to validate or unfuse
 // their pending NCSF'd µ-op (Section IV-B2), consuming dispatch slots.
+//
+// The stage also performs the top-down slot accounting (DESIGN.md §12):
+// each of the DispatchWidth budget slots is attributed to exactly one
+// bucket — claimed slots to (fused-)retiring, tagged on the µ-op for
+// later reclassification; unclaimed slots to the stalling resource, the
+// post-flush recovery, or the frontend. The behavioral loop is
+// unchanged (it still processes up to RenameWidth µ-ops): accounting
+// only clamps or pads to the DispatchWidth budget, it never alters
+// timing.
 func (p *Pipeline) renameDispatchStage() {
+	td := &p.st.TopDown
+	td.Cycles++
+	budget := int(td.SlotsPerCycle)
+	used := 0
+	// account attributes one budget slot, tagging the µ-op (when there
+	// is one) so squash/unfuse can move the slot later. When
+	// RenameWidth exceeds DispatchWidth, work past the budget stays
+	// unaccounted (tdBucket -1) — the budget is the accounting unit.
+	account := func(u *pUop, b stats.TDBucket) {
+		if used >= budget {
+			return
+		}
+		used++
+		td.Add(b, 1)
+		if u != nil {
+			u.tdBucket = int8(b)
+		}
+	}
+
 	slots := p.cfg.RenameWidth
-	stalled := false
-	for slots > 0 && !stalled {
+	stall := stallNone
+loop:
+	for slots > 0 {
 		u := p.aq.front()
 		if u == nil {
-			return
+			break
 		}
 		switch {
 		case u.isTailNucleus:
-			slots = p.processTailNucleus(u, slots)
+			var bucket stats.TDBucket
+			var consumed bool
+			slots, bucket, consumed = p.processTailNucleus(u, slots)
+			if consumed {
+				account(nil, bucket)
+				p.tdRecovering = false
+			}
 		default:
-			ok, stallStat := p.tryAllocate(u)
+			var ok bool
+			ok, stall = p.tryAllocate(u)
 			if !ok {
-				if stallStat != nil {
-					*stallStat++
-				}
-				stalled = true
-				break
+				p.bumpStall(stall)
+				break loop
 			}
 			u.renamedAt = p.cycle
 			p.renameUop(u)
 			p.dispatchUop(u)
 			p.aq.pop()
 			slots--
+			if u.kind != uop.FuseNone && !u.unfused {
+				account(u, stats.TDFusedRetiring)
+			} else {
+				account(u, stats.TDRetiring)
+			}
+			p.tdRecovering = false
 		}
 	}
-	if stalled {
+
+	// Attribute the budget slots no µ-op claimed this cycle.
+	if used < budget {
+		leftover := uint64(budget - used)
+		switch {
+		case stall != stallNone:
+			td.Add(p.tdStallBucket(stall), leftover)
+		case p.aq.front() != nil:
+			// Supply was available but RenameWidth ran out below the
+			// dispatch budget: the core's own width is the limiter.
+			td.Add(stats.TDBackendCore, leftover)
+		case p.tdRecovering:
+			// AQ empty because a flush killed it; the frontend is
+			// refilling — squash recovery, not a frontend deficiency.
+			td.Add(stats.TDBadSpeculation, leftover)
+		case used > 0:
+			td.Add(stats.TDFrontendBandwidth, leftover)
+		default:
+			td.Add(stats.TDFrontendLatency, leftover)
+		}
+	}
+
+	if stall != stallNone {
 		p.breakNCSFDeadlock()
 	}
+	p.renameStalled = stall != stallNone
 }
 
 // breakNCSFDeadlock resolves the circular wait that arises when a pending
@@ -65,21 +128,24 @@ func (p *Pipeline) breakNCSFDeadlock() {
 }
 
 // processTailNucleus handles a tail nucleus reaching Rename. It validates
-// or unfuses the pending NCSF'd µ-op and returns the remaining slots.
-func (p *Pipeline) processTailNucleus(u *pUop, slots int) int {
+// or unfuses the pending NCSF'd µ-op and returns the remaining slots,
+// plus the top-down bucket of the consumed slot when one was consumed:
+// validation retires fused work, an unfuse fix-up is repair for a wrong
+// fusion speculation.
+func (p *Pipeline) processTailNucleus(u *pUop, slots int) (int, stats.TDBucket, bool) {
 	head := u.headUop
 	if head == nil || head.st == stKilled || head.unfused || head.kind == uop.FuseNone {
 		// The pairing was cancelled (nest limit, flush, ...): the tail is
 		// an ordinary µ-op again.
 		u.isTailNucleus = false
 		u.headUop = nil
-		return slots
+		return slots, 0, false
 	}
 	if head.st == stDecoded {
 		// The head has not renamed yet (it is older so this only happens
 		// transiently); treat the pair as cancelled to avoid deadlock.
 		p.cancelNCSF(head, u)
-		return slots
+		return slots, 0, false
 	}
 
 	span := p.span(head.seq, u.seq)
@@ -112,7 +178,7 @@ func (p *Pipeline) processTailNucleus(u *pUop, slots int) int {
 		// The tail becomes an ordinary µ-op; the fix-up consumed a slot.
 		u.isTailNucleus = false
 		u.headUop = nil
-		return slots - 1
+		return slots - 1, stats.TDBadSpeculation, true
 	}
 
 	// Validation: resolve the tail's sources with the *current* RAT (the
@@ -124,7 +190,7 @@ func (p *Pipeline) processTailNucleus(u *pUop, slots int) int {
 	p.removePendingNCSF(head)
 	u.st = stKilled // the tail nucleus leaves the pipeline
 	p.aq.pop()
-	return slots - 1
+	return slots - 1, stats.TDFusedRetiring, true
 }
 
 // catalystWritesReg reports whether any catalyst instruction writes r.
@@ -151,24 +217,24 @@ func (p *Pipeline) cancelNCSF(head, tail *pUop) {
 }
 
 // tryAllocate checks that every resource the µ-op needs is available and
-// returns the stall counter to bump when it is not.
-func (p *Pipeline) tryAllocate(u *pUop) (bool, *uint64) {
+// names the first blocking resource when it is not.
+func (p *Pipeline) tryAllocate(u *pUop) (bool, stallKind) {
 	if len(p.freeList) < p.destCount(u) {
-		return false, &p.st.StallFreeList
+		return false, stallFreeList
 	}
 	if p.rob.full() {
-		return false, &p.st.StallROB
+		return false, stallROB
 	}
 	if len(p.iq) >= p.cfg.IQSize {
-		return false, &p.st.StallIQ
+		return false, stallIQ
 	}
 	if u.isLoad() && len(p.lq) >= p.cfg.LQSize {
-		return false, &p.st.StallLQ
+		return false, stallLQ
 	}
 	if u.isStore() && len(p.sq) >= p.cfg.SQSize {
-		return false, &p.st.StallSQ
+		return false, stallSQ
 	}
-	return true, nil
+	return true, stallNone
 }
 
 // destCount returns how many physical destination registers the µ-op
@@ -351,6 +417,11 @@ func (p *Pipeline) finishTailDest(head, tail *pUop) {
 func (p *Pipeline) unfuseAtRename(head, tail *pUop) {
 	head.unfused = true
 	head.validated = true
+	// The head now retires one instruction, not two: its dispatch slot
+	// moves from fused-retiring back to plain retiring.
+	if head.tdBucket == int8(stats.TDFusedRetiring) {
+		p.tdReclassify(head, stats.TDRetiring)
+	}
 	p.removePendingNCSF(head)
 	// Release the tail's physical destination (it was never in the RAT).
 	if head.numDst > 1 {

@@ -55,6 +55,7 @@ type Stats struct {
 	StallIQ       uint64
 	StallLQ       uint64
 	StallSQ       uint64
+	StallAQ       uint64 // fetch blocked by allocation-queue backpressure
 
 	Flushes      uint64
 	ChaosFlushes uint64 // forced flushes injected by the chaos hook
@@ -63,6 +64,12 @@ type Stats struct {
 	MispredictResolveLat uint64
 	MispredictAQLat      uint64
 	MispredictIssueLat   uint64
+
+	// Top-down dispatch-slot accounting (DESIGN.md §12): every cycle,
+	// all DispatchWidth slots land in exactly one bucket, so the
+	// buckets sum to DispatchWidth × Cycles (CheckInvariants enforces
+	// it) and an IPC delta decomposes fully into bucket deltas.
+	TopDown stats.TopDown
 
 	// Latency distributions (fixed integer buckets, observed at commit,
 	// reported as count/mean/P50/P95/P99 in Rows).
@@ -147,9 +154,12 @@ func (s *Stats) MeanNCSFDistance() float64 {
 	return float64(s.DistanceSum) / float64(n)
 }
 
-// StallCycles returns total structural stall cycles by resource.
+// StallCycles returns total structural stall cycles by resource. The
+// family is attributed once per cycle (rename charges its first
+// blocking resource; fetch charges the AQ only when rename did not
+// stall), so the sum never exceeds Cycles.
 func (s *Stats) StallCycles() uint64 {
-	return s.StallFreeList + s.StallROB + s.StallIQ + s.StallLQ + s.StallSQ
+	return s.StallFreeList + s.StallROB + s.StallIQ + s.StallLQ + s.StallSQ + s.StallAQ
 }
 
 // Rows enumerates every counter as (name, value) pairs in declaration
@@ -202,12 +212,14 @@ func (s *Stats) Rows() [][2]string {
 		{"stall_iq", u(s.StallIQ)},
 		{"stall_lq", u(s.StallLQ)},
 		{"stall_sq", u(s.StallSQ)},
+		{"stall_aq", u(s.StallAQ)},
 		{"flushes", u(s.Flushes)},
 		{"chaos_flushes", u(s.ChaosFlushes)},
 		{"mispredict_resolve_lat", u(s.MispredictResolveLat)},
 		{"mispredict_aq_lat", u(s.MispredictAQLat)},
 		{"mispredict_issue_lat", u(s.MispredictIssueLat)},
 	}...)
+	rows = append(rows, s.TopDown.Rows("topdown")...)
 	rows = append(rows, s.IssueWaitHist.Rows("issue_wait")...)
 	rows = append(rows, s.LoadToUseHist.Rows("load_to_use")...)
 	return append(rows, s.FlushRecoveryHist.Rows("flush_recovery")...)

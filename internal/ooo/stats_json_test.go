@@ -108,8 +108,15 @@ func TestStatsRowsComplete(t *testing.T) {
 		case reflect.Array:
 			wantSlots += f.Type.Len()
 		case reflect.Struct:
-			// Histograms summarize as five rows: count, mean, p50/95/99.
-			wantSlots += 5
+			switch f.Type.Name() {
+			case "Histogram":
+				// Histograms summarize as five rows: count, mean, p50/95/99.
+				wantSlots += 5
+			default:
+				// Aggregate counter structs (TopDown) report one raw row
+				// per field.
+				wantSlots += f.Type.NumField()
+			}
 		default:
 			wantSlots++
 		}

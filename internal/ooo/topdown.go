@@ -1,0 +1,124 @@
+package ooo
+
+import "helios/internal/stats"
+
+// This file implements the top-down slot accounting (DESIGN.md §12):
+// every cycle, renameDispatchStage attributes all DispatchWidth slots
+// to exactly one stats.TDBucket each. Slots that dispatched a µ-op are
+// tagged on the µ-op (tdBucket) so a later squash or unfuse can
+// reclassify them; slots nothing claimed are attributed to the reason
+// dispatch could not fill them — the blocking backend resource, flush
+// recovery, or the frontend.
+
+// stallKind names the rename/dispatch resource that blocked allocation
+// this cycle (stallNone = no stall). tryAllocate reports the first
+// blocking resource in check order, mirroring the stall_* counters.
+type stallKind uint8
+
+const (
+	stallNone stallKind = iota
+	stallFreeList
+	stallROB
+	stallIQ
+	stallLQ
+	stallSQ
+)
+
+// bumpStall attributes one stalled cycle to the blocking resource's
+// stall_* counter (at most one per cycle: the caller stops at the first
+// stall).
+func (p *Pipeline) bumpStall(k stallKind) {
+	switch k {
+	case stallFreeList:
+		p.st.StallFreeList++
+	case stallROB:
+		p.st.StallROB++
+	case stallIQ:
+		p.st.StallIQ++
+	case stallLQ:
+		p.st.StallLQ++
+	case stallSQ:
+		p.st.StallSQ++
+	}
+}
+
+// Memory-hierarchy level that served a load or store, recorded at issue
+// (loads) or drain start (stores) for backend-memory stall attribution.
+const (
+	memL1D int8 = iota
+	memL2
+	memLLC
+	memDRAM
+)
+
+// classifyMemLevel maps a total data-access latency to the hierarchy
+// level that served it. The hierarchy reports cumulative latencies (an
+// L2 hit costs L1D + L2 cycles), a line-crossing access whose second
+// line also hits adds one serialized cycle — hence the +1 slack per
+// threshold — and MSHR-merged fills land between levels, classifying to
+// the level whose latency window they fall in.
+func (p *Pipeline) classifyMemLevel(lat int) int8 {
+	c := &p.cfg.Cache
+	l1 := c.L1D.Latency + 1
+	switch {
+	case lat <= l1:
+		return memL1D
+	case lat <= l1+c.L2.Latency:
+		return memL2
+	case lat <= l1+c.L2.Latency+c.LLC.Latency:
+		return memLLC
+	}
+	return memDRAM
+}
+
+// memLevelBucket maps a recorded hierarchy level to its top-down
+// backend-memory bucket.
+func memLevelBucket(level int8) stats.TDBucket {
+	switch level {
+	case memL2:
+		return stats.TDBackendMemL2
+	case memLLC:
+		return stats.TDBackendMemLLC
+	case memDRAM:
+		return stats.TDBackendMemDRAM
+	}
+	return stats.TDBackendMemL1D
+}
+
+// tdStallBucket maps a rename-stage structural stall to its top-down
+// bucket: LQ/SQ pressure is memory-bound, classified by the level
+// serving the oldest in-flight blocking access (the lq/sq slices are
+// program-ordered, so the first candidate is the oldest); free list,
+// ROB and IQ pressure are core-bound. An access whose level is not yet
+// known (still awaiting issue/drain) counts as L1D, the floor.
+func (p *Pipeline) tdStallBucket(k stallKind) stats.TDBucket {
+	switch k {
+	case stallLQ:
+		for _, l := range p.lq {
+			if l.st == stIssued {
+				return memLevelBucket(l.memLevel)
+			}
+		}
+		return stats.TDBackendMemL1D
+	case stallSQ:
+		for _, s := range p.sq {
+			if s.draining && !s.drained {
+				return memLevelBucket(s.memLevel)
+			}
+		}
+		return stats.TDBackendMemL1D
+	}
+	return stats.TDBackendCore
+}
+
+// tdReclassify moves a µ-op's recorded dispatch slot into another
+// bucket (squash, unfuse). µ-ops that never claimed a slot (killed in
+// the AQ, or renamed beyond the DispatchWidth budget) carry tdBucket
+// -1 and are left alone.
+func (p *Pipeline) tdReclassify(u *pUop, to stats.TDBucket) {
+	if u.tdBucket < 0 || stats.TDBucket(u.tdBucket) == to {
+		return
+	}
+	p.st.TopDown.Move(stats.TDBucket(u.tdBucket), to, 1)
+	u.tdBucket = int8(to)
+}

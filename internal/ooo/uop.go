@@ -82,6 +82,13 @@ type pUop struct {
 	renamedAt  uint64
 	issuedAt   uint64
 	completeAt uint64
+
+	// Top-down accounting (DESIGN.md §12): the bucket this µ-op's
+	// dispatch slot was attributed to (-1 = no slot claimed), and the
+	// hierarchy level that served its memory access (memL1D..memDRAM,
+	// recorded at load issue / store drain start).
+	tdBucket int8
+	memLevel int8
 }
 
 // srcPending marks a source slot reserved for the tail nucleus, resolved

@@ -1,0 +1,255 @@
+package report
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"helios/internal/fusion"
+	"helios/internal/ooo"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+// fixedBuild is the build identity used by golden manifests: real
+// provenance (temp paths, VCS state) would make the golden
+// machine-dependent.
+var fixedBuild = BuildInfo{
+	Module:   "helios",
+	Version:  "(devel)",
+	Go:       "go1.22",
+	Revision: "deadbeefcafe4242",
+}
+
+// synthManifest builds a deterministic manifest from a seed: the
+// top-down account is conserved (buckets sum to the slot budget), the
+// histograms are filled with a fixed sample pattern, and every derived
+// metric the renderers touch is nonzero.
+func synthManifest(workload string, mode fusion.Mode, seed uint64) *Manifest {
+	var st ooo.Stats
+	st.Cycles = 10_000 + seed*37
+	st.CommittedInsts = 18_000 + seed*211
+	st.CommittedUops = st.CommittedInsts - seed*100
+	st.CommittedMem = st.CommittedInsts / 3
+
+	st.CSFLoadPairs = 400 + seed*13
+	st.CSFStorePairs = 150 + seed*7
+	st.NCSFLoadPairs = seed * 90
+	st.NCSFStorePairs = seed * 20
+	st.FusedIdiom = 250 + seed*5
+	st.FusionPredictions = seed * 120
+	st.FusionMispredicts = seed * 3
+	st.Branches = st.CommittedInsts / 6
+	st.BranchMispredicts = st.Branches / 50
+
+	td := &st.TopDown
+	td.SlotsPerCycle = 5
+	td.Cycles = st.Cycles
+	budget := td.SlotBudget()
+	td.Retiring = budget * 4 / 10
+	td.FusedRetiring = budget / 20 * seed % (budget / 10)
+	td.FrontendLatency = budget / 8
+	td.FrontendBandwidth = budget / 10
+	td.BadSpeculation = budget / 25
+	td.BackendCore = budget / 12
+	td.BackendMemL1D = budget / 30
+	td.BackendMemL2 = budget / 40
+	td.BackendMemLLC = budget / 50
+	// The last bucket absorbs the remainder so conservation holds.
+	td.BackendMemDRAM = budget - td.TotalSlots()
+
+	for i := uint64(0); i < 200; i++ {
+		st.IssueWaitHist.Observe(i % (8 + seed))
+		st.LoadToUseHist.Observe(4 + i%(30+seed*9))
+		st.FlushRecoveryHist.Observe(10 + i%(60+seed*4))
+	}
+
+	return &Manifest{
+		SchemaVersion: SchemaVersion,
+		Workload:      workload,
+		Mode:          mode.String(),
+		Build:         fixedBuild,
+		Config:        ooo.DefaultConfig(mode),
+		Stats:         st,
+	}
+}
+
+// writeManifests writes ms into a fresh temp dir and returns it.
+func writeManifests(t *testing.T, ms ...*Manifest) string {
+	t.Helper()
+	dir := t.TempDir()
+	for _, m := range ms {
+		if err := m.WriteFile(filepath.Join(dir, m.Workload+".json")); err != nil {
+			t.Fatalf("write %s: %v", m.Workload, err)
+		}
+	}
+	return dir
+}
+
+// goldenDiff builds the diff every rendering test uses: two matched
+// workloads, one base-only and one target-only straggler.
+func goldenDiff(t *testing.T) *Diff {
+	t.Helper()
+	baseDir := writeManifests(t,
+		synthManifest("aha", fusion.ModeNoFusion, 1),
+		synthManifest("crc32", fusion.ModeNoFusion, 2),
+		synthManifest("zlib", fusion.ModeNoFusion, 3))
+	targetDir := writeManifests(t,
+		synthManifest("aha", fusion.ModeHelios, 4),
+		synthManifest("crc32", fusion.ModeHelios, 5),
+		synthManifest("qsort", fusion.ModeHelios, 6))
+	base, err := LoadDir(baseDir)
+	if err != nil {
+		t.Fatalf("load base: %v", err)
+	}
+	target, err := LoadDir(targetDir)
+	if err != nil {
+		t.Fatalf("load target: %v", err)
+	}
+	return NewDiff("baseline", base, "helios", target)
+}
+
+// checkGolden compares got against the committed golden file,
+// rewriting it under -update.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run go test ./internal/report -update): %v", err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("%s drifted from golden; re-run with -update and review the diff.\ngot:\n%s", name, got)
+	}
+}
+
+func TestDiffMarkdownGolden(t *testing.T) {
+	d := goldenDiff(t)
+	md, err := d.Markdown()
+	if err != nil {
+		t.Fatalf("markdown: %v", err)
+	}
+	checkGolden(t, "diff.golden.md", []byte(md))
+}
+
+func TestDiffCSVGolden(t *testing.T) {
+	d := goldenDiff(t)
+	checkGolden(t, "diff.golden.csv", []byte(d.CSV()))
+}
+
+func TestDiffAlignment(t *testing.T) {
+	d := goldenDiff(t)
+	if len(d.Pairs) != 2 || d.Pairs[0].Workload != "aha" || d.Pairs[1].Workload != "crc32" {
+		t.Errorf("pairs = %+v, want aha+crc32", d.Pairs)
+	}
+	if len(d.BaseOnly) != 1 || d.BaseOnly[0] != "zlib" {
+		t.Errorf("base-only = %v, want [zlib]", d.BaseOnly)
+	}
+	if len(d.TargetOnly) != 1 || d.TargetOnly[0] != "qsort" {
+		t.Errorf("target-only = %v, want [qsort]", d.TargetOnly)
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	m := synthManifest("aha", fusion.ModeHelios, 1)
+	dir := writeManifests(t, m)
+	ms, err := LoadDir(dir)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if len(ms) != 1 {
+		t.Fatalf("loaded %d manifests, want 1", len(ms))
+	}
+	got := ms[0]
+	if got.Workload != m.Workload || got.Mode != m.Mode || got.Build != m.Build {
+		t.Errorf("identity drifted: %+v", got)
+	}
+	if got.Stats != m.Stats {
+		t.Errorf("stats did not survive the round trip")
+	}
+	if got.Config.DispatchWidth != m.Config.DispatchWidth {
+		t.Errorf("config dispatch width %d, want %d",
+			got.Config.DispatchWidth, m.Config.DispatchWidth)
+	}
+}
+
+func TestLoadDirRejectsDuplicateWorkload(t *testing.T) {
+	m := synthManifest("aha", fusion.ModeHelios, 1)
+	dir := t.TempDir()
+	for _, name := range []string{"a.json", "b.json"} {
+		if err := m.WriteFile(filepath.Join(dir, name)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := LoadDir(dir); err == nil || !strings.Contains(err.Error(), "appears in both") {
+		t.Errorf("duplicate workload not rejected: %v", err)
+	}
+}
+
+func TestLoadDirRejectsForeignSchema(t *testing.T) {
+	m := synthManifest("aha", fusion.ModeHelios, 1)
+	m.SchemaVersion = SchemaVersion + 1
+	dir := writeManifests(t, m)
+	if _, err := LoadDir(dir); err == nil || !strings.Contains(err.Error(), "schema version") {
+		t.Errorf("foreign schema not rejected: %v", err)
+	}
+}
+
+func TestLoadDirRejectsEmptyDir(t *testing.T) {
+	if _, err := LoadDir(t.TempDir()); err == nil {
+		t.Error("empty directory not rejected")
+	}
+}
+
+func TestMarkdownRejectsInconsistentHistogram(t *testing.T) {
+	base := synthManifest("aha", fusion.ModeNoFusion, 1)
+	target := synthManifest("aha", fusion.ModeHelios, 2)
+	// A foreign-geometry import shows up as bucket counts that disagree
+	// with Count; the suite-level merge must refuse it.
+	target.Stats.LoadToUseHist.Count += 9
+	b, err := LoadDir(writeManifests(t, base))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tg, err := LoadDir(writeManifests(t, target))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDiff("baseline", b, "helios", tg)
+	if _, err := d.Markdown(); err == nil || !strings.Contains(err.Error(), "bucket layout mismatch") {
+		t.Errorf("inconsistent histogram not rejected: %v", err)
+	}
+}
+
+func TestBuildNeverEmpty(t *testing.T) {
+	b := Build()
+	for name, v := range map[string]string{
+		"Module": b.Module, "Version": b.Version, "Go": b.Go, "Revision": b.Revision,
+	} {
+		if v == "" {
+			t.Errorf("Build().%s is empty; want a value or \"unknown\"", name)
+		}
+	}
+}
+
+// TestTopDownSynthConserved keeps the fixture honest: the golden
+// manifests must satisfy the same conservation invariant real runs do.
+func TestTopDownSynthConserved(t *testing.T) {
+	for seed := uint64(1); seed <= 6; seed++ {
+		m := synthManifest("w", fusion.ModeHelios, seed)
+		if err := m.Stats.TopDown.CheckConservation(); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+		}
+	}
+}

@@ -90,6 +90,44 @@ func (h *Histogram) Mean() uint64 {
 	return h.Sum / h.Count
 }
 
+// Merge adds o's samples into h, so per-workload histograms aggregate
+// into suite-level percentiles. The bucket count is a compile-time
+// constant, so the only way two histograms disagree on geometry is data
+// produced by a binary built with a different NumHistBuckets — which a
+// fixed-array JSON decode silently truncates or zero-fills into an
+// internally inconsistent histogram. Merge therefore checks each side's
+// bucket counts against its Count and refuses the mismatch instead of
+// producing quietly wrong percentiles.
+func (h *Histogram) Merge(o *Histogram) error {
+	if err := h.checkGeometry("merge target"); err != nil {
+		return err
+	}
+	if err := o.checkGeometry("merge source"); err != nil {
+		return err
+	}
+	h.Count += o.Count
+	h.Sum += o.Sum
+	for i := range h.Buckets {
+		h.Buckets[i] += o.Buckets[i]
+	}
+	return nil
+}
+
+// checkGeometry verifies the histogram's internal consistency: the
+// bucket counts must sum to Count, which any same-geometry Observe
+// sequence guarantees and any cross-geometry import breaks.
+func (h *Histogram) checkGeometry(role string) error {
+	var total uint64
+	for _, c := range h.Buckets {
+		total += c
+	}
+	if total != h.Count {
+		return fmt.Errorf("stats: %s histogram bucket layout mismatch: %d bucketed samples vs count %d (produced with a different bucket geometry?)",
+			role, total, h.Count)
+	}
+	return nil
+}
+
 // Rows enumerates the histogram's summary as (name, value) pairs using
 // the given prefix: count, mean and the P50/P95/P99 quantiles — the
 // shape ooo.Stats.Rows splices into its dump surface.
