@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build lint test race fuzz-short experiments-smoke obs-smoke report-smoke
+.PHONY: all build lint test race fuzz-short experiments-smoke obs-smoke report-smoke bench-smoke bench-snapshot
 
 all: build lint test
 
@@ -34,6 +34,18 @@ fuzz-short:
 
 experiments-smoke:
 	$(GO) run ./cmd/experiments -id fig2 -insts 2000 -metrics
+
+# Matches the CI bench-smoke job: every benchmark must still compile and
+# complete one iteration, so the committed trajectory can't bit-rot.
+bench-smoke:
+	$(GO) test -run 'Benchmark' -bench . -benchtime 1x ./...
+
+# Regenerate a benchmark snapshot (see EXPERIMENTS.md for the schema).
+# Usage: make bench-snapshot OUT=BENCH_pr7.json [DIFF=BENCH_pr6.json]
+OUT ?= BENCH_snapshot.json
+bench-snapshot:
+	$(GO) run ./cmd/benchsnap -out $(OUT) -benchtime 3x -count 3 \
+		$(if $(DIFF),-diff $(DIFF))
 
 # Matches the CI obs-smoke job: one observed run producing a
 # Konata-loadable pipeline trace plus the interval metrics CSV.

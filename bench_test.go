@@ -13,6 +13,7 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+	"time"
 
 	"helios/internal/core"
 	"helios/internal/emu"
@@ -147,6 +148,38 @@ func BenchmarkSuiteFig10(b *testing.B) {
 			b.ReportMetric(float64(emulations), "emulations")
 		}
 	})
+}
+
+// BenchmarkSuiteParallel measures the suite scheduler: the same
+// workload×mode matrix warmed serially (workers=1) versus fanned across
+// GOMAXPROCS workers. On a multi-core runner the ns/op gap is the
+// scheduler's realized speedup; on a single-core runner the two
+// converge (the committed BENCH_*.json snapshots record num_cpu and
+// gomaxprocs so the trajectory is read in context). The realized-x
+// metric is the suite's own measurement: serial-equivalent sum of
+// per-cell walls over elapsed fan-out wall.
+func BenchmarkSuiteParallel(b *testing.B) {
+	names := []string{"crc32", "xz", "sha"}
+	run := func(b *testing.B, workers int) {
+		for i := 0; i < b.N; i++ {
+			h := experiments.New(benchBudget)
+			h.Workloads = names
+			h.Suite.PrefetchN(context.Background(), names, fusion.Modes, workers)
+			if _, err := h.Figure10(context.Background()); err != nil {
+				b.Fatal(err)
+			}
+			m := h.Suite.Metrics()
+			if m.FanoutWall > 0 {
+				var sum time.Duration
+				for _, c := range m.CellWalls {
+					sum += c.Wall
+				}
+				b.ReportMetric(float64(sum)/float64(m.FanoutWall), "realized-x")
+			}
+		}
+	}
+	b.Run("serial", func(b *testing.B) { run(b, 1) })
+	b.Run("parallel", func(b *testing.B) { run(b, 0) })
 }
 
 // BenchmarkTable2 regenerates the machine configuration table.

@@ -32,8 +32,9 @@ func main() {
 		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		worklist = flag.String("workloads", "", "comma-separated workload subset (default: all)")
 		metrics  = flag.Bool("metrics", false, "print record/replay trace-layer counters after the tables (deterministic: byte-identical across identical runs)")
-		walltime = flag.Bool("walltime", false, "also print wall-time breakdown to stderr (nondeterministic)")
+		walltime = flag.Bool("walltime", false, "also print wall-time breakdown to stderr (nondeterministic; includes per-cell walls and realized speedup)")
 		timeout  = flag.Duration("timeout", 0, "abort the whole suite after this wall time (0 = no limit)")
+		parallel = flag.Int("parallel", 0, "scheduler workers for the replay fan-out (0 = GOMAXPROCS, 1 = serial; output is byte-identical for every value)")
 
 		obsDir      = flag.String("obs", "", "observed-suite mode: write per-workload pipeview/events/interval files into this directory and exit")
 		obsMode     = flag.String("obs-mode", "Helios", "fusion configuration for -obs runs")
@@ -52,6 +53,7 @@ func main() {
 	}
 
 	h := experiments.New(*insts)
+	h.Parallel = *parallel
 	if *worklist != "" {
 		h.Workloads = strings.Split(*worklist, ",")
 	}
@@ -112,8 +114,9 @@ func main() {
 		finish()
 		return
 	}
-	// Warm the cache in parallel before printing everything.
-	h.Suite.Prefetch(ctx, h.Workloads, fusion.Modes)
+	// Warm the cache before printing everything, fanning workload×mode
+	// cells across the scheduler's workers.
+	h.Suite.PrefetchN(ctx, h.Workloads, fusion.Modes, *parallel)
 	for _, idName := range experiments.IDs() {
 		emit(idName)
 	}

@@ -21,8 +21,11 @@ import (
 	"net/http"
 	_ "net/http/pprof" // -pprof serves the default mux
 	"os"
+	"runtime"
 	"runtime/pprof"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"helios/internal/core"
 	"helios/internal/fusion"
@@ -41,6 +44,7 @@ func main() {
 		insts    = flag.Uint64("insts", 0, "instruction budget (0 = workload default)")
 		list     = flag.Bool("list", false, "list workloads and exit")
 		compare  = flag.Bool("compare", false, "run every fusion configuration and compare IPC")
+		parallel = flag.Int("parallel", 0, "-compare workers (0 = GOMAXPROCS, 1 = serial; the table is byte-identical for every value)")
 		traceOut = flag.String("trace-out", "", "record the committed stream to this file (gzip-framed binary)")
 		traceIn  = flag.String("trace-in", "", "simulate a previously recorded stream instead of emulating")
 		timeout  = flag.Duration("timeout", 0, "abort the whole run after this wall time (0 = no limit)")
@@ -154,7 +158,7 @@ func main() {
 
 	// Phase two: replay through the cycle-level model.
 	if *compare {
-		runCompare(ctx, name, rec)
+		runCompare(ctx, name, rec, *parallel)
 		return
 	}
 	m, ok := fusion.ModeByName(*mode)
@@ -263,20 +267,54 @@ func modeNames() string {
 	return strings.Join(names, ", ")
 }
 
-// runCompare replays the one recording through every fusion configuration.
-func runCompare(ctx context.Context, name string, rec *trace.Recording) {
-	t := stats.NewTable(fmt.Sprintf("%s: fusion configuration comparison", name),
-		"config", "IPC", "vs NoFusion", "csf", "ncsf", "idioms", "mispredicts")
-	var base float64
-	for _, m := range fusion.Modes {
-		r, err := core.RunSource(ctx, name, ooo.DefaultConfig(m), rec.Replay(), 0)
+// runCompare replays the one recording through every fusion
+// configuration, fanning the replays across a bounded worker pool
+// (replay cursors are independent, so the runs cannot interfere). The
+// results are collected by mode index and the table is built serially
+// in fusion.Modes order afterwards — including the NoFusion IPC
+// baseline — so the output is byte-identical to a serial run.
+func runCompare(ctx context.Context, name string, rec *trace.Recording, workers int) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(fusion.Modes) {
+		workers = len(fusion.Modes)
+	}
+	results := make([]*core.Result, len(fusion.Modes))
+	errs := make([]error, len(fusion.Modes))
+	var cursor atomic.Int64
+	cursor.Store(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1))
+				if i >= len(fusion.Modes) {
+					return
+				}
+				m := fusion.Modes[i]
+				results[i], errs[i] = core.RunSource(ctx, name, ooo.DefaultConfig(m), rec.Replay(), 0)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
 			fatal(err)
 		}
-		s := r.Stats
+	}
+	var base float64
+	for i, m := range fusion.Modes {
 		if m == fusion.ModeNoFusion {
-			base = s.IPC()
+			base = results[i].Stats.IPC()
 		}
+	}
+	t := stats.NewTable(fmt.Sprintf("%s: fusion configuration comparison", name),
+		"config", "IPC", "vs NoFusion", "csf", "ncsf", "idioms", "mispredicts")
+	for i, m := range fusion.Modes {
+		s := results[i].Stats
 		t.AddRow(m.String(), stats.F(s.IPC(), 3), stats.F(s.IPC()/base, 3),
 			fmt.Sprint(s.CSFPairs()), fmt.Sprint(s.NCSFPairs()),
 			fmt.Sprint(s.FusedIdiom+s.FusedMemIdiom), fmt.Sprint(s.FusionMispredicts))

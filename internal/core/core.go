@@ -27,7 +27,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"runtime"
 	"sort"
 	"sync"
 	"time"
@@ -104,6 +103,55 @@ type Metrics struct {
 
 	EmuTime time.Duration // wall time in functional emulation (recording)
 	SimTime time.Duration // wall time in cycle-level simulation
+
+	// FanoutWall is the elapsed wall time spent inside RunCells fan-outs;
+	// CellWalls holds the per-cell wall times in scheduling (input) order.
+	// With workers > 1 the cell walls sum to more than FanoutWall — the
+	// ratio is the scheduler's realized speedup.
+	FanoutWall time.Duration
+	CellWalls  []CellWall
+}
+
+// Rows returns the deterministic counters as label/value pairs — the
+// byte-stable half of the metrics surface, safe to diff across runs.
+func (m Metrics) Rows() [][2]string {
+	return [][2]string{
+		{"trace misses (functional emulations)", fmt.Sprint(m.TraceMisses)},
+		{"trace hits (recording reused)", fmt.Sprint(m.TraceHits)},
+		{"replays", fmt.Sprint(m.Replays)},
+		{"pipeline runs", fmt.Sprint(m.PipelineRuns)},
+		{"deduped runs", fmt.Sprint(m.DedupedRuns)},
+		{"live fallbacks", fmt.Sprint(m.LiveFallbacks)},
+	}
+}
+
+// WallRows returns the wall-time measurements as label/value pairs:
+// phase totals, then — when a scheduler fan-out ran — the elapsed
+// fan-out time, the serial-equivalent sum of per-cell walls, the
+// realized speedup, and each cell's wall in scheduling order. Values
+// are nondeterministic by nature; the row set and order are not.
+func (m Metrics) WallRows() [][2]string {
+	rows := [][2]string{
+		{"emulation wall", m.EmuTime.Round(time.Millisecond).String()},
+		{"simulation wall", m.SimTime.Round(time.Millisecond).String()},
+	}
+	if m.FanoutWall > 0 {
+		var sum time.Duration
+		for _, c := range m.CellWalls {
+			sum += c.Wall
+		}
+		rows = append(rows,
+			[2]string{"fan-out wall (elapsed)", m.FanoutWall.Round(time.Millisecond).String()},
+			[2]string{"cell walls (serial-equivalent)", sum.Round(time.Millisecond).String()},
+			[2]string{"realized speedup", fmt.Sprintf("%.2fx", float64(sum)/float64(m.FanoutWall))})
+		for _, c := range m.CellWalls {
+			rows = append(rows, [2]string{
+				"cell " + c.Workload + "/" + c.Mode.String(),
+				c.Wall.Round(time.Millisecond).String(),
+			})
+		}
+	}
+	return rows
 }
 
 // Suite runs and caches simulations across workloads and modes, fanning
@@ -158,7 +206,9 @@ func NewSuite(maxInsts uint64) *Suite {
 func (s *Suite) Metrics() Metrics {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.metrics
+	m := s.metrics
+	m.CellWalls = append([]CellWall(nil), s.metrics.CellWalls...)
+	return m
 }
 
 // CacheSnapshot returns the cached result keys as sorted
@@ -169,6 +219,7 @@ func (s *Suite) CacheSnapshot() []string {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	keys := make([]string, 0, len(s.cache))
+	//helios:nondeterminism-ok keys are sorted below before being returned
 	for k := range s.cache {
 		keys = append(keys, k.workload+"/"+k.mode.String())
 	}
@@ -271,7 +322,7 @@ func (s *Suite) run(ctx context.Context, name string, mode fusion.Mode) (*Result
 // replay runs one cycle-level simulation over a recording, with timing
 // accounted to the suite metrics.
 func (s *Suite) replay(ctx context.Context, name string, mode fusion.Mode, rec *trace.Recording, budget uint64) (*Result, error) {
-	start := time.Now()
+	start := time.Now() //helios:nondeterminism-ok wall-time metrics only; simulated results never read it
 	r, err := RunSource(ctx, name, ooo.DefaultConfig(mode), rec.Replay(), budget)
 	s.mu.Lock()
 	s.metrics.Replays++
@@ -300,7 +351,7 @@ func (s *Suite) ObserveReplay(ctx context.Context, name string, mode fusion.Mode
 	}
 	cfg := ooo.DefaultConfig(mode)
 	cfg.Obs = ob
-	start := time.Now()
+	start := time.Now() //helios:nondeterminism-ok wall-time metrics only; simulated results never read it
 	r, err := RunSource(ctx, name, cfg, rec.Replay(), budget)
 	s.mu.Lock()
 	s.metrics.Replays++
@@ -356,7 +407,7 @@ func (s *Suite) recording(ctx context.Context, w workloads.Workload, budget uint
 	s.metrics.TraceMisses++
 	s.mu.Unlock()
 
-	start := time.Now()
+	start := time.Now() //helios:nondeterminism-ok wall-time metrics only; simulated results never read it
 	rec, err := s.emulate(ctx, w, budget)
 
 	s.mu.Lock()
@@ -418,7 +469,7 @@ func (s *Suite) repairRecording(ctx context.Context, w workloads.Workload, budge
 	s.metrics.LiveFallbacks++
 	s.mu.Unlock()
 
-	start := time.Now()
+	start := time.Now() //helios:nondeterminism-ok wall-time metrics only; simulated results never read it
 	rec, err := s.emulate(ctx, w, budget)
 
 	s.mu.Lock()
@@ -437,33 +488,9 @@ func (s *Suite) repairRecording(ctx context.Context, w workloads.Workload, budge
 }
 
 // Prefetch runs every workload under each mode in parallel, filling the
-// cache. Errors surface on the corresponding Get; Prefetch stops issuing
-// work once ctx fails.
+// cache with GOMAXPROCS workers. Errors surface on the corresponding
+// Get; Prefetch stops issuing work once ctx fails. It is PrefetchN with
+// the default worker bound.
 func (s *Suite) Prefetch(ctx context.Context, names []string, modes []fusion.Mode) {
-	type job struct {
-		name string
-		mode fusion.Mode
-	}
-	jobs := make(chan job)
-	var wg sync.WaitGroup
-	workers := runtime.GOMAXPROCS(0)
-	for i := 0; i < workers; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range jobs {
-				s.Get(ctx, j.name, j.mode) //nolint:errcheck // cached, surfaced later
-			}
-		}()
-	}
-	for _, n := range names {
-		for _, m := range modes {
-			if ctx.Err() != nil {
-				break
-			}
-			jobs <- job{n, m}
-		}
-	}
-	close(jobs)
-	wg.Wait()
+	s.PrefetchN(ctx, names, modes, 0)
 }

@@ -9,7 +9,6 @@ import (
 	"context"
 	"fmt"
 	"sort"
-	"time"
 
 	"helios/internal/core"
 	"helios/internal/fusion"
@@ -25,6 +24,12 @@ import (
 type Harness struct {
 	Suite     *core.Suite
 	Workloads []string
+
+	// Parallel bounds the scheduler's replay workers during RunAll's
+	// warm-up fan-out (0 = GOMAXPROCS, 1 = serial). The figures and
+	// tables are byte-identical for every value: results are assembled
+	// by cell index, never by completion order.
+	Parallel int
 }
 
 // New creates a harness over every registered workload with the given
@@ -402,12 +407,9 @@ func (h *Harness) TableCost(ctx context.Context) (*stats.Table, error) {
 func (h *Harness) MetricsTable() *stats.Table {
 	m := h.Suite.Metrics()
 	t := stats.NewTable("Trace layer: record-once/replay-many counters", "counter", "value")
-	t.AddRow("functional emulations (trace misses)", fmt.Sprint(m.TraceMisses))
-	t.AddRow("trace cache hits", fmt.Sprint(m.TraceHits))
-	t.AddRow("replays", fmt.Sprint(m.Replays))
-	t.AddRow("pipeline runs", fmt.Sprint(m.PipelineRuns))
-	t.AddRow("deduplicated concurrent runs", fmt.Sprint(m.DedupedRuns))
-	t.AddRow("live fallbacks (degraded replays)", fmt.Sprint(m.LiveFallbacks))
+	for _, row := range m.Rows() {
+		t.AddRow(row[0], row[1])
+	}
 	cached := h.Suite.CacheSnapshot()
 	t.AddRow("cached results", fmt.Sprint(len(cached)))
 	for i, key := range cached {
@@ -416,22 +418,26 @@ func (h *Harness) MetricsTable() *stats.Table {
 	return t
 }
 
-// WallTimeTable reports where the wall time went. Wall time is
-// inherently nondeterministic, so it lives in its own table that
-// cmd/experiments only prints on request (and to stderr), keeping the
-// default -metrics surface byte-stable.
+// WallTimeTable reports where the wall time went: phase totals plus —
+// when the scheduler fanned cells out — the elapsed fan-out time, the
+// serial-equivalent sum of per-cell walls, the realized speedup and
+// each cell's wall. Wall time is inherently nondeterministic, so it
+// lives in its own table that cmd/experiments only prints on request
+// (and to stderr), keeping the default -metrics surface byte-stable.
 func (h *Harness) WallTimeTable() *stats.Table {
 	m := h.Suite.Metrics()
 	t := stats.NewTable("Trace layer: wall time (nondeterministic)", "phase", "time")
-	t.AddRow("functional emulation", m.EmuTime.Round(time.Millisecond).String())
-	t.AddRow("cycle-level simulation", m.SimTime.Round(time.Millisecond).String())
+	for _, row := range m.WallRows() {
+		t.AddRow(row[0], row[1])
+	}
 	return t
 }
 
 // RunAll executes every experiment and returns the tables keyed by id.
 func (h *Harness) RunAll(ctx context.Context) (map[string]*stats.Table, error) {
-	// Warm the cache in parallel for the modes the experiments need.
-	h.Suite.Prefetch(ctx, h.Workloads, fusion.Modes)
+	// Warm the cache for the modes the experiments need, fanning
+	// workload×mode cells across h.Parallel scheduler workers.
+	h.Suite.PrefetchN(ctx, h.Workloads, fusion.Modes, h.Parallel)
 	out := make(map[string]*stats.Table)
 	for _, id := range IDs() {
 		tbl, err := h.Run(ctx, id)
@@ -446,6 +452,7 @@ func (h *Harness) RunAll(ctx context.Context) (map[string]*stats.Table, error) {
 // SortedIDs returns experiment ids in stable presentation order.
 func SortedIDs(m map[string]*stats.Table) []string {
 	ids := make([]string, 0, len(m))
+	//helios:nondeterminism-ok ids are sorted into IDs() order below
 	for id := range m {
 		ids = append(ids, id)
 	}

@@ -15,6 +15,14 @@ func TestSimDeterminism(t *testing.T) {
 	linttest.Run(t, lint.SimDeterminism, "testdata/simdeterminism")
 }
 
+// TestSimDeterminismScheduler covers the scheduler-layer packages
+// (core, experiments) added to the analyzer's scope alongside the
+// cycle-accurate ones: work distribution over a map or an unannotated
+// wall-clock read would let parallel suite runs drift from serial ones.
+func TestSimDeterminismScheduler(t *testing.T) {
+	linttest.Run(t, lint.SimDeterminism, "testdata/simdeterminism_core")
+}
+
 func TestSeededRand(t *testing.T) {
 	linttest.Run(t, lint.SeededRand, "testdata/seededrand")
 }

@@ -5,23 +5,30 @@ import (
 	"go/types"
 )
 
-// simPackages are the cycle-accurate simulation packages in which any
-// run-to-run nondeterminism would silently corrupt the paper's figures:
-// the same µ-op stream must produce the same cycle count on every run.
+// simPackages are the packages in which any run-to-run nondeterminism
+// would silently corrupt the paper's figures: the cycle-accurate
+// simulation packages (the same µ-op stream must produce the same cycle
+// count on every run) plus the scheduling layers (core, experiments) —
+// the suite scheduler fans cells across workers, so its work
+// distribution and result assembly must never depend on map iteration
+// order or wall time, or parallel runs would stop being byte-identical
+// to serial ones.
 var simPackages = map[string]bool{
 	"ooo": true, "fusion": true, "branch": true, "cache": true,
 	"emu": true, "memdep": true, "trace": true,
+	"core": true, "experiments": true,
 }
 
 // SimDeterminism forbids the three classic nondeterminism sources inside
-// simulation packages: wall-clock reads (time.Now), the process-global
-// math/rand generator, and iteration over map-typed values — unless the
-// loop body is provably order-insensitive or the site is annotated
-// //helios:nondeterminism-ok <reason>.
+// simulation and scheduling packages: wall-clock reads (time.Now), the
+// process-global math/rand generator, and iteration over map-typed
+// values — unless the loop body is provably order-insensitive or the
+// site is annotated //helios:nondeterminism-ok <reason>.
 var SimDeterminism = &Analyzer{
 	Name: "simdeterminism",
 	Doc: "forbid time.Now, global math/rand calls and order-sensitive map " +
-		"iteration in simulation packages (ooo, fusion, branch, cache, emu, memdep, trace)",
+		"iteration in simulation and scheduling packages " +
+		"(ooo, fusion, branch, cache, emu, memdep, trace, core, experiments)",
 	Run: runSimDeterminism,
 }
 

@@ -1,0 +1,32 @@
+// Package core seeds simdeterminism violations for the scheduler-layer
+// coverage: the suite scheduler's package is in scope so that work
+// distribution and result assembly can never silently depend on map
+// iteration order or wall time — parallel runs must stay byte-identical
+// to serial ones.
+package core
+
+import "time"
+
+// fanoutByMap distributes work by ranging over a map: the assignment of
+// cells to workers (and hence any append-ordered result) would differ
+// run to run.
+func fanoutByMap(work map[string]int, run func(string)) {
+	for name := range work { // want "iteration over a map in a simulation package"
+		run(name)
+	}
+}
+
+// cellWall reads the wall clock without declaring why that is safe.
+func cellWall(run func()) time.Duration {
+	start := time.Now() // want "time.Now in a simulation package"
+	run()
+	return time.Since(start)
+}
+
+// annotatedWall is the sanctioned shape: wall time feeding a
+// measurement surface that simulated results never read.
+func annotatedWall(run func()) time.Duration {
+	start := time.Now() //helios:nondeterminism-ok wall-time metrics only; simulated results never read it
+	run()
+	return time.Since(start)
+}

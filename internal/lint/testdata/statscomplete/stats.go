@@ -95,3 +95,26 @@ func (s *AggStats) Rows() [][2]string {
 		{"wait_count", strconv.FormatUint(s.Waits.Count, 10)},
 	}
 }
+
+// SchedMetrics mirrors the suite scheduler's split surface: Rows
+// carries the deterministic counters, WallRows the wall-time half.
+// Both count as dump surfaces; Stalls reaches neither.
+type SchedMetrics struct {
+	Cells  uint64
+	WallNs uint64
+	Stalls uint64 // want "SchedMetrics.Stalls is never referenced"
+}
+
+func (m *SchedMetrics) Rows() [][2]string {
+	return [][2]string{{"cells", strconv.FormatUint(m.Cells, 10)}}
+}
+
+func (m *SchedMetrics) WallRows() [][2]string {
+	return [][2]string{{"wall_ns", strconv.FormatUint(m.WallNs, 10)}}
+}
+
+// BareMetrics has counters but no reporting surface at all — the
+// Metrics suffix is audited exactly like Stats.
+type BareMetrics struct { // want "BareMetrics has exported numeric counters but no dump surface"
+	Runs uint64
+}

@@ -33,6 +33,12 @@ func (p *Pipeline) commitStage() {
 		p.accountCommit(u)
 		p.trainHelios(u)
 		p.pruneWindow(u.seq)
+		if !u.isStore() {
+			// Commit is a non-store µ-op's last pipeline reference (any
+			// stale waiter or event-wheel entry is generation-checked);
+			// stores stay referenced by the SQ until the drain completes.
+			p.arena.release(u)
+		}
 	}
 }
 

@@ -18,7 +18,11 @@ func (p *Pipeline) issueStage() {
 		if alu == 0 && ld == 0 && st == 0 {
 			break
 		}
-		if u.st != stDispatched || !p.canIssue(u) {
+		// The cheap not-ready rejects are inlined ahead of the canIssue
+		// call: most IQ entries fail one of these two on any given cycle,
+		// and both fields are re-read live (a flush or unfuse earlier in
+		// this same scan can change them).
+		if u.st != stDispatched || u.pendSrcs > 0 || !p.canIssue(u) {
 			continue
 		}
 		var port *int
@@ -109,8 +113,15 @@ func (p *Pipeline) loadMayIssue(u *pUop) bool {
 	lacc, ln := p.accesses(u)
 	u.forwarded = false
 	u.slowForward = false
+	// Youngest architectural position of this load: stores at or past it
+	// are skipped before their accesses are even decomposed (every inner
+	// comparison below would reject them anyway).
+	maxSeq := lacc[ln-1].seq
+	if lacc[0].seq > maxSeq {
+		maxSeq = lacc[0].seq
+	}
 	for _, s := range p.sq {
-		if s.drainedGone() || s.st == stKilled {
+		if s.seq >= maxSeq || s.drainedGone() || s.st == stKilled {
 			continue
 		}
 		sacc, sn := p.accesses(s)
@@ -260,19 +271,19 @@ func (p *Pipeline) issue(u *pUop) {
 	u.st = stIssued
 	u.issuedAt = p.cycle
 	u.completeAt = p.cycle + uint64(lat)
-	p.events[u.completeAt] = append(p.events[u.completeAt], u)
+	p.events.schedule(u, u.completeAt, p.cycle)
 }
 
 // writebackStage completes µ-ops whose execution latency elapsed: results
 // become visible, dependents wake up, mispredicted branches redirect the
 // frontend, and stores search for memory-order violations.
 func (p *Pipeline) writebackStage() {
-	evs := p.events[p.cycle]
-	if len(evs) == 0 {
-		return
-	}
-	delete(p.events, p.cycle)
-	for _, u := range evs {
+	evs := p.events.drain(p.cycle)
+	for _, e := range evs {
+		u := e.u
+		if u.gen != e.gen {
+			continue // flushed, released and recycled while in flight
+		}
 		if u.st != stIssued {
 			continue // killed by a flush while in flight
 		}
@@ -304,6 +315,9 @@ func (p *Pipeline) wakeup(preg int32) {
 	ws := p.waiters[preg]
 	p.waiters[preg] = ws[:0]
 	for _, w := range ws {
+		if w.gen != w.u.gen {
+			continue // the waiter was released and recycled
+		}
 		if w.u.st == stKilled || w.u.st == stCommitted {
 			continue
 		}
@@ -399,7 +413,7 @@ func (p *Pipeline) handleFusionMispredict(u *pUop) {
 func (p *Pipeline) drainStores() {
 	started := 0
 	n := 0
-	for _, s := range p.sq {
+	for i, s := range p.sq {
 		if s.st == stKilled {
 			continue // dropped by a flush
 		}
@@ -412,6 +426,8 @@ func (p *Pipeline) drainStores() {
 				s.drained = true
 				keep = false
 			}
+			// Drain completion is a store's last pipeline reference: the
+			// ROB entry committed long ago, so the µ-op is recycled here.
 		case s.committedSt && started < p.cfg.StoreDrainPerCycle && p.cycle >= p.drainPortFree:
 			lat := p.mem.DataLatency(s.memLo, s.memSpan, p.cycle)
 			s.memLevel = p.classifyMemLevel(lat)
@@ -429,12 +445,22 @@ func (p *Pipeline) drainStores() {
 			}
 			started++
 		default:
-			// Older non-committed store: nothing younger may drain.
+			// Older non-committed store: nothing younger may drain, and
+			// (TSO: drains start in order) nothing younger can be draining
+			// or drained either. If the scan has removed nothing so far
+			// the queue is unchanged from here on — stop early.
+			if n == i {
+				return
+			}
 			started = p.cfg.StoreDrainPerCycle
 		}
 		if keep {
 			p.sq[n] = s
 			n++
+		} else if s.st == stCommitted {
+			// Only fully-committed stores are recycled; a store dropped
+			// for any other reason is still owned by the flush path.
+			p.arena.release(s)
 		}
 	}
 	p.sq = p.sq[:n]

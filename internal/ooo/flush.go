@@ -3,7 +3,6 @@ package ooo
 import (
 	"sort"
 
-	"helios/internal/fusion"
 	"helios/internal/stats"
 	"helios/internal/uop"
 )
@@ -34,6 +33,9 @@ func (p *Pipeline) flushFrom(from uint64) {
 	}
 
 	// Kill younger µ-ops in the AQ (they have no backend state yet).
+	// Killed µ-ops are collected and recycled only at the end of the
+	// flush: the queue filters below still inspect their st/seq fields,
+	// which a reset would wipe.
 	var ghrRestore uint64
 	haveGhr := false
 	for p.aq.len() > 0 {
@@ -47,11 +49,14 @@ func (p *Pipeline) flushFrom(from uint64) {
 			p.obsEmit(u, false)
 		}
 		// A killed tail nucleus whose head survives in the AQ (not yet
-		// renamed) must release the head, or it would wait forever.
-		if u.isTailNucleus && u.headUop != nil && u.headUop.st == stDecoded {
+		// renamed) must release the head, or it would wait forever. The
+		// generation check skips heads already recycled into new µ-ops.
+		if u.isTailNucleus && u.headUop != nil && u.headUop.gen == u.headGen &&
+			u.headUop.st == stDecoded {
 			p.cancelNCSF(u.headUop, u)
 		}
 		p.aq.popBack()
+		p.deadUops = append(p.deadUops, u)
 	}
 
 	// Kill younger ROB entries and collect their register allocations.
@@ -73,6 +78,7 @@ func (p *Pipeline) flushFrom(from uint64) {
 				p.freePhys(preg)
 			}
 		}
+		p.deadUops = append(p.deadUops, u)
 	}
 
 	// Rebuild the speculative RAT: committed state plus the surviving
@@ -130,7 +136,7 @@ func (p *Pipeline) flushFrom(from uint64) {
 	// Re-prime the oracle from the history preceding the flush point.
 	if p.oracle != nil {
 		p.oracle.Reset()
-		p.plannedPairs = make(map[uint64]fusion.Pairing)
+		p.plannedPairs.clear()
 		start := p.windowBase
 		if from > uint64(p.cfg.PairCfg.MaxDist+1) && from-uint64(p.cfg.PairCfg.MaxDist+1) > start {
 			start = from - uint64(p.cfg.PairCfg.MaxDist+1)
@@ -141,13 +147,22 @@ func (p *Pipeline) flushFrom(from uint64) {
 					// Pairs wholly before the flush point were already
 					// applied (or dropped); only future tails matter.
 					if pairing.TailSeq >= from {
-						p.plannedPairs[pairing.TailSeq] = pairing
+						p.plannedPairs.put(pairing)
 					}
 				}
 			}
 		}
 		p.oracleFed = from
 	}
+
+	// Recycle the killed µ-ops: every queue filter above has run, so the
+	// only references left are generation-checked (waiters, event wheel)
+	// or in last cycle's fetch-group scratch, which is reset before reuse.
+	for i, u := range p.deadUops {
+		p.arena.release(u)
+		p.deadUops[i] = nil
+	}
+	p.deadUops = p.deadUops[:0]
 }
 
 // filterLive drops killed µ-ops and those at or past the flush point.

@@ -9,10 +9,12 @@ import (
 
 // waiter records a µ-op waiting on a physical register in a specific
 // source slot (the slot is re-checked at wake-up because NCSF unfusing can
-// retract sources).
+// retract sources, and the generation because a retracted waiter's µ-op
+// may have been released and recycled before the register fires).
 type waiter struct {
 	u    *pUop
 	slot int
+	gen  uint32
 }
 
 type waiterList []waiter
@@ -33,7 +35,7 @@ func (p *Pipeline) frontendStage() {
 		return
 	}
 
-	group := make([]*pUop, 0, p.cfg.FetchWidth)
+	group := p.fetchGroup[:0]
 	for len(group) < p.cfg.FetchWidth {
 		if p.aq.len()+len(group) >= p.aq.cap() {
 			// Allocation queue backpressure truncated this fetch group.
@@ -65,11 +67,10 @@ func (p *Pipeline) frontendStage() {
 			}
 		}
 
-		u := &pUop{r: *rec, seq: rec.Seq, ghr: p.ghr.Bits(), st: stDecoded, decodedAt: p.cycle,
-			tdBucket: -1} // no dispatch slot claimed yet
-		u.srcPhys = [3]int32{invalidReg, invalidReg, invalidReg}
-		u.dstPhys = [2]int32{invalidReg, invalidReg}
-		u.oldPhys = [2]int32{invalidReg, invalidReg}
+		u := p.arena.alloc()
+		u.r, u.seq, u.ghr, u.st = *rec, rec.Seq, p.ghr.Bits(), stDecoded
+		u.decodedAt = p.cycle
+		u.tdBucket = -1 // no dispatch slot claimed yet
 		p.nextFetch++
 
 		taken := rec.NextPC != rec.PC+4
@@ -127,6 +128,7 @@ func (p *Pipeline) frontendStage() {
 			break // fetch group ends at a taken control transfer
 		}
 	}
+	p.fetchGroup = group
 	if len(group) == 0 {
 		return
 	}
@@ -139,9 +141,13 @@ func (p *Pipeline) frontendStage() {
 		p.markOraclePairs(group)
 	}
 
-	for _, u := range group {
+	for i, u := range group {
 		if u.st == stKilled {
-			continue // absorbed into a fused µ-op
+			// Absorbed into a fused µ-op at decode: its record was copied
+			// into the head's tail storage and nothing else refers to it.
+			p.arena.release(u)
+			group[i] = nil
+			continue
 		}
 		p.aq.push(u)
 	}
@@ -199,8 +205,8 @@ func (p *Pipeline) tryFusePair(a, b *pUop) bool {
 // the pipeline (consecutive fusion: the tail nucleus vanishes at decode).
 func (p *Pipeline) absorbTail(a, b *pUop, kind uop.FuseKind) {
 	a.kind = kind
-	rec := b.r
-	a.tailR = &rec
+	a.tailStorage = b.r
+	a.tailR = &a.tailStorage
 	a.validated = true
 	b.st = stKilled
 }
@@ -232,7 +238,7 @@ func (p *Pipeline) markOraclePairs(group []*pUop) {
 		// (tail nucleii killed by idiom fusion still feed it).
 		if u.seq == p.oracleFed {
 			if pairing, ok := p.oracle.Observe(u.r); ok {
-				p.plannedPairs[pairing.TailSeq] = pairing
+				p.plannedPairs.put(pairing)
 			}
 			p.oracleFed++
 		}
@@ -241,11 +247,10 @@ func (p *Pipeline) markOraclePairs(group []*pUop) {
 		if u.st == stKilled || u.kind != uop.FuseNone || u.isTailNucleus {
 			continue
 		}
-		pairing, ok := p.plannedPairs[u.seq]
+		pairing, ok := p.plannedPairs.take(u.seq)
 		if !ok {
 			continue
 		}
-		delete(p.plannedPairs, u.seq)
 		head := p.findFusionHead(pairing.HeadSeq, group)
 		if head == nil || !p.headEligible(head, u) {
 			continue
@@ -306,12 +311,13 @@ func (p *Pipeline) headEligible(head, tail *pUop) bool {
 // The head becomes the NCSF'd µ-op; the tail nucleus stays in the AQ and
 // flows to Rename to validate it.
 func (p *Pipeline) establishNCSF(head, tail *pUop, pred helios.Prediction, usedPred bool) {
-	rec := tail.r
+	head.tailStorage = tail.r
+	rec := head.tailStorage
 	head.kind = uop.FuseLoadPair
 	if head.r.IsStore() {
 		head.kind = uop.FuseStorePair
 	}
-	head.tailR = &rec
+	head.tailR = &head.tailStorage
 	head.isNCSF = true
 	head.validated = false
 	head.pred = pred
@@ -323,6 +329,7 @@ func (p *Pipeline) establishNCSF(head, tail *pUop, pred helios.Prediction, usedP
 	head.pairSymmetric = head.r.MemSize == rec.MemSize
 	tail.isTailNucleus = true
 	tail.headUop = head
+	tail.headGen = head.gen
 	if usedPred {
 		p.st.FusionPredictions++
 	}

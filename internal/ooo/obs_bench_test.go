@@ -31,13 +31,19 @@ func benchRun(b *testing.B, rec *trace.Recording, ob *obs.Observer) {
 	b.Helper()
 	b.ReportAllocs()
 	b.ResetTimer()
+	var cycles uint64
 	for i := 0; i < b.N; i++ {
 		cfg := DefaultConfig(fusion.ModeHelios)
 		cfg.Obs = ob
-		if _, err := New(cfg, rec.Replay()).Run(); err != nil {
+		st, err := New(cfg, rec.Replay()).Run()
+		if err != nil {
 			b.Fatalf("run: %v", err)
 		}
+		cycles += st.Cycles
 	}
+	// cycles/op feeds the BENCH_*.json trajectory: benchsnap derives
+	// simulated-cycles/sec from it (see EXPERIMENTS.md).
+	b.ReportMetric(float64(cycles)/float64(b.N), "cycles/op")
 }
 
 // BenchmarkPipelineObsOff is the overhead-contract baseline: the same

@@ -60,13 +60,22 @@ type Pipeline struct {
 	// Pending NCSF'd µ-ops: head renamed, tail not yet (paper: ≤ 2).
 	pendingNCSF []*pUop
 
-	// Backend.
+	// Backend. Completions are scheduled on the event wheel (slice
+	// indexed by cycle) rather than a map keyed by completion cycle.
 	rob       *uopRing
 	iq        []*pUop
 	iqScratch []*pUop
 	lq        []*pUop
 	sq        []*pUop
-	events    map[uint64][]*pUop
+	events    *eventWheel
+
+	// µ-op recycling (DESIGN.md §13): every pUop is drawn from and
+	// returned to the arena; deadUops is flushFrom's deferred-release
+	// scratch (killed µ-ops must outlive the queue filters that still
+	// inspect their fields).
+	arena      uopArena
+	fetchGroup []*pUop // frontendStage decode-group scratch
+	deadUops   []*pUop
 
 	// Predictors.
 	storeSets *memdep.StoreSets
@@ -74,8 +83,9 @@ type Pipeline struct {
 	fp        *helios.FP
 	oracle    *fusion.Oracle
 
-	// Oracle pairings awaiting application, tail seq → pairing.
-	plannedPairs map[uint64]fusion.Pairing
+	// Oracle pairings awaiting application, keyed by tail seq on a ring
+	// (exact-seq validated, so an abandoned entry can never alias).
+	plannedPairs *pairingRing
 	oracleFed    uint64 // next seq the oracle expects
 
 	// Store buffer drain port state.
@@ -120,9 +130,9 @@ func New(cfg Config, src trace.Source) *Pipeline {
 		ras:          branch.NewRAS(cfg.RASSize),
 		aq:           newUopRing(cfg.AQSize),
 		rob:          newUopRing(cfg.ROBSize),
-		events:       make(map[uint64][]*pUop),
+		events:       newEventWheel(),
 		storeSets:    memdep.New(cfg.StoreSetLogSize, cfg.StoreSetLogSets),
-		plannedPairs: make(map[uint64]fusion.Pairing),
+		plannedPairs: newPairingRing(cfg.PairCfg.MaxDist),
 		obs:          cfg.Obs,
 	}
 	// Physical register file: the first 32 back the initial RAT.

@@ -134,9 +134,11 @@ func (p *Pipeline) breakNCSFDeadlock() {
 // fusion speculation.
 func (p *Pipeline) processTailNucleus(u *pUop, slots int) (int, stats.TDBucket, bool) {
 	head := u.headUop
-	if head == nil || head.st == stKilled || head.unfused || head.kind == uop.FuseNone {
-		// The pairing was cancelled (nest limit, flush, ...): the tail is
-		// an ordinary µ-op again.
+	if head == nil || head.gen != u.headGen ||
+		head.st == stKilled || head.unfused || head.kind == uop.FuseNone {
+		// The pairing was cancelled (nest limit, flush, a head already
+		// committed+recycled after an unfuse, ...): the tail is an
+		// ordinary µ-op again.
 		u.isTailNucleus = false
 		u.headUop = nil
 		return slots, 0, false
@@ -190,6 +192,7 @@ func (p *Pipeline) processTailNucleus(u *pUop, slots int) (int, stats.TDBucket, 
 	p.removePendingNCSF(head)
 	u.st = stKilled // the tail nucleus leaves the pipeline
 	p.aq.pop()
+	p.arena.release(u) // never dispatched: the AQ held the last reference
 	return slots - 1, stats.TDFusedRetiring, true
 }
 
@@ -268,18 +271,23 @@ func (p *Pipeline) renameUop(u *pUop) {
 		}
 	}
 
-	// Collect architectural sources.
-	var srcs []isa.Reg
+	// Collect architectural sources. The fixed-size buffer keeps this off
+	// the heap: a µ-op carries at most 3 renamed sources (srcPhys), and
+	// the one-past slot turns an impossible fourth into an index panic
+	// exactly where the old slice version would have overrun srcPhys.
+	var srcs [4]isa.Reg
+	nSrcs := 0
 	addSrc := func(r isa.Reg) {
 		if r == isa.Zero {
 			return
 		}
-		for _, s := range srcs {
+		for _, s := range srcs[:nSrcs] {
 			if s == r {
 				return
 			}
 		}
-		srcs = append(srcs, r)
+		srcs[nSrcs] = r
+		nSrcs++
 	}
 	in := u.r.Inst
 	if in.Op.HasRs1() {
@@ -321,16 +329,16 @@ func (p *Pipeline) renameUop(u *pUop) {
 	}
 
 	u.numSrc = 0
-	u.ownSrcs = int8(len(srcs))
+	u.ownSrcs = int8(nSrcs)
 	u.pendSrcs = 0
-	for _, s := range srcs {
+	for _, s := range srcs[:nSrcs] {
 		preg := p.rat[s]
 		slot := int(u.numSrc)
 		u.srcPhys[slot] = preg
 		u.numSrc++
 		if !p.regReady[preg] {
 			u.pendSrcs++
-			p.waiters[preg] = append(p.waiters[preg], waiter{u: u, slot: slot})
+			p.waiters[preg] = append(p.waiters[preg], waiter{u: u, slot: slot, gen: u.gen})
 		}
 	}
 	for i := 0; i < tailSrcSlots && int(u.numSrc) < len(u.srcPhys); i++ {
@@ -397,7 +405,7 @@ func (p *Pipeline) resolveTailSources(head, tail *pUop) {
 		head.srcPhys[slot] = preg
 		if !p.regReady[preg] {
 			head.pendSrcs++
-			p.waiters[preg] = append(p.waiters[preg], waiter{u: head, slot: slot})
+			p.waiters[preg] = append(p.waiters[preg], waiter{u: head, slot: slot, gen: head.gen})
 		}
 	}
 }

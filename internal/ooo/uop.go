@@ -22,22 +22,31 @@ const (
 const invalidReg = int32(-1)
 
 // pUop is a µ-op flowing through the pipeline. A fused µ-op keeps the
-// head nucleus's record in r and its tail nucleus's record in tailR.
+// head nucleus's record in r and its tail nucleus's record in tailR
+// (pointing at its own tailStorage). µ-ops are recycled through the
+// uopArena; gen/pooled are the recycling bookkeeping and survive reset.
 type pUop struct {
 	r   emu.Retired
 	seq uint64 // == r.Seq; unique per dynamic instruction
 	ghr uint64 // global branch history at decode (before own outcome)
 	st  stage
 
+	// Arena bookkeeping: gen increments on every recycle so stale waiter
+	// and event-wheel references can detect reincarnation; pooled guards
+	// against double release.
+	gen    uint32
+	pooled bool
+
 	// Fusion state.
-	kind      uop.FuseKind
-	tailR     *emu.Retired // architectural record of the fused tail
-	isNCSF    bool         // fused non-consecutively: needs validation
-	validated bool         // NCSF'd µ-op may issue (NCS Ready)
-	unfused   bool         // NCSF fusion was undone at rename
-	pred      helios.Prediction
-	usedPred  bool   // fusion came from the FP (Helios) and must update it
-	predGhr   uint64 // tail's decode-time GHR, for FP updates
+	kind        uop.FuseKind
+	tailR       *emu.Retired // architectural record of the fused tail
+	tailStorage emu.Retired  // backing store for tailR (avoids a heap copy)
+	isNCSF      bool         // fused non-consecutively: needs validation
+	validated   bool         // NCSF'd µ-op may issue (NCS Ready)
+	unfused     bool         // NCSF fusion was undone at rename
+	pred        helios.Prediction
+	usedPred    bool   // fusion came from the FP (Helios) and must update it
+	predGhr     uint64 // tail's decode-time GHR, for FP updates
 
 	// Pair attributes recorded at fuse time (for stats and the region
 	// check at execute).
@@ -47,8 +56,12 @@ type pUop struct {
 	pairSymmetric bool
 
 	// Tail-nucleus role (the tail object still flows to Rename for NCSF).
+	// headGen snapshots the head's generation at link time: a head that
+	// was released and recycled while the tail still pointed at it fails
+	// the check and the pairing is treated as cancelled.
 	isTailNucleus bool
 	headUop       *pUop // for a tail nucleus: its head
+	headGen       uint32
 
 	// Renamed registers. Fused µ-ops use up to 3 sources and 2 dests.
 	srcPhys  [3]int32
