@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build lint test race fuzz-short experiments-smoke obs-smoke report-smoke bench-smoke bench-snapshot
+.PHONY: all build lint test race fuzz-short experiments-smoke obs-smoke report-smoke bench-smoke bench-snapshot serve-smoke
 
 all: build lint test
 
@@ -46,6 +46,12 @@ OUT ?= BENCH_snapshot.json
 bench-snapshot:
 	$(GO) run ./cmd/benchsnap -out $(OUT) -benchtime 3x -count 3 \
 		$(if $(DIFF),-diff $(DIFF))
+
+# Matches the CI heliosd-smoke job: build heliosd + heliosctl, drive
+# every endpoint plus the hostile-input taxonomy, SIGTERM mid-flight,
+# and assert a clean drain with exit 0.
+serve-smoke:
+	./scripts/heliosd_smoke.sh
 
 # Matches the CI obs-smoke job: one observed run producing a
 # Konata-loadable pipeline trace plus the interval metrics CSV.

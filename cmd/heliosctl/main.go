@@ -1,0 +1,313 @@
+// Command heliosctl is the heliosd client. It speaks the typed error
+// taxonomy: retryable failures (429 overload, 5xx, transport errors)
+// are retried with exponential backoff plus jitter, honouring the
+// server's Retry-After hint as the backoff floor; terminal failures
+// (4xx) are reported immediately.
+//
+// Usage:
+//
+//	heliosctl [-server http://localhost:8080] <command> [flags]
+//
+//	run       -workload crc32 [-mode Helios] [-insts N] [-deadline-ms N]
+//	suite     -workloads crc32,sha [-modes NoFusion,Helios] [-insts N]
+//	diff      -workloads crc32,sha -baseline NoFusion -target Helios [-csv]
+//	workloads
+//	health    [-wait 30s]   poll /healthz until the server answers
+//	ready
+//	metrics
+//	raw       -path /v1/run -body '{"workload":"crc32"}' [-expect 200]
+//
+// raw sends an arbitrary body without retries — the smoke harness uses
+// it to assert the typed 400/413 responses for hostile requests.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"helios/internal/serve"
+)
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "heliosctl: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func main() {
+	server := flag.String("server", "http://localhost:8080", "heliosd base URL")
+	retries := flag.Int("retries", 5, "max retries for retryable failures (429/5xx/transport)")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: heliosctl [-server URL] {run|suite|diff|workloads|health|ready|metrics|raw} [flags]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() < 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	c := &client{base: strings.TrimRight(*server, "/"), retries: *retries}
+	cmd, args := flag.Arg(0), flag.Args()[1:]
+	switch cmd {
+	case "run":
+		cmdRun(c, args)
+	case "suite":
+		cmdSuite(c, args)
+	case "diff":
+		cmdDiff(c, args)
+	case "workloads":
+		emit(c.getRetry("/v1/workloads"))
+	case "health":
+		cmdHealth(c, args)
+	case "ready":
+		emit(c.get("/readyz"))
+	case "metrics":
+		emit(c.getRetry("/metricz"))
+	case "raw":
+		cmdRaw(c, args)
+	default:
+		fatalf("unknown command %q", cmd)
+	}
+}
+
+// client wraps the retry policy around heliosd's API.
+type client struct {
+	base    string
+	retries int
+}
+
+// backoff computes the attempt's sleep: exponential from 100ms, capped
+// at 5s, with ±25% jitter, floored at the server's retry-after hint.
+func backoff(attempt int, floor time.Duration, rng *rand.Rand) time.Duration {
+	d := 100 * time.Millisecond << uint(attempt)
+	if d > 5*time.Second {
+		d = 5 * time.Second
+	}
+	// jitter in [0.75, 1.25): desynchronizes a fleet of retrying clients
+	d = time.Duration(float64(d) * (0.75 + 0.5*rng.Float64()))
+	if d < floor {
+		d = floor
+	}
+	return d
+}
+
+// retryAfterHint extracts the server's backoff floor from a typed error
+// body (retry_after_ms) or the Retry-After header.
+func retryAfterHint(resp *http.Response, body []byte) time.Duration {
+	var e serve.Error
+	if err := json.Unmarshal(body, &e); err == nil && e.RetryAfterMs > 0 {
+		return time.Duration(e.RetryAfterMs) * time.Millisecond
+	}
+	if s := resp.Header.Get("Retry-After"); s != "" {
+		if secs, err := strconv.Atoi(s); err == nil {
+			return time.Duration(secs) * time.Second
+		}
+	}
+	return 0
+}
+
+// do issues one request with the retry policy. Terminal statuses (2xx
+// and non-retryable 4xx) return immediately; 429/5xx and transport
+// errors retry with backoff.
+func (c *client) do(method, path string, body []byte) (int, []byte) {
+	//helios:nondeterminism-ok client-side retry jitter, not simulation state
+	rng := rand.New(rand.NewPCG(uint64(os.Getpid()), uint64(time.Now().UnixNano())))
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		status, respBody, retryable, hint, err := c.once(method, path, body)
+		if err == nil && !retryable {
+			return status, respBody
+		}
+		if err != nil {
+			lastErr = err
+		} else {
+			lastErr = fmt.Errorf("status %d: %s", status, bytes.TrimSpace(respBody))
+		}
+		if attempt >= c.retries {
+			fatalf("%s %s failed after %d attempts: %v", method, path, attempt+1, lastErr)
+		}
+		d := backoff(attempt, hint, rng)
+		fmt.Fprintf(os.Stderr, "heliosctl: retryable failure (%v); retry %d/%d in %s\n",
+			lastErr, attempt+1, c.retries, d.Round(time.Millisecond))
+		time.Sleep(d)
+	}
+}
+
+func (c *client) once(method, path string, body []byte) (status int, respBody []byte, retryable bool, hint time.Duration, err error) {
+	req, err := http.NewRequest(method, c.base+path, bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, false, 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return 0, nil, true, 0, err // transport error: retryable
+	}
+	defer resp.Body.Close()
+	respBody, err = io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, nil, true, 0, err
+	}
+	retryable = resp.StatusCode == 429 || resp.StatusCode >= 500
+	return resp.StatusCode, respBody, retryable, retryAfterHint(resp, respBody), nil
+}
+
+func (c *client) post(path string, v any) (int, []byte) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		fatalf("encode request: %v", err)
+	}
+	return c.do("POST", path, b)
+}
+
+func (c *client) getRetry(path string) (int, []byte) { return c.do("GET", path, nil) }
+
+// get is a single non-retried GET (readiness probes must see the
+// current answer, not a retried one).
+func (c *client) get(path string) (int, []byte) {
+	status, body, _, _, err := c.once("GET", path, nil)
+	if err != nil {
+		fatalf("GET %s: %v", path, err)
+	}
+	return status, body
+}
+
+// emit prints a response body and exits non-zero on a non-2xx status.
+func emit(status int, body []byte) {
+	os.Stdout.Write(append(bytes.TrimRight(body, "\n"), '\n'))
+	if status < 200 || status > 299 {
+		os.Exit(1)
+	}
+}
+
+func cmdRun(c *client, args []string) {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	workload := fs.String("workload", "", "workload name (required)")
+	mode := fs.String("mode", "", "fusion mode (default: server's)")
+	insts := fs.Uint64("insts", 0, "instruction budget (0 = server default)")
+	deadline := fs.Int64("deadline-ms", 0, "per-request deadline in ms (0 = server default)")
+	fs.Parse(args)
+	if *workload == "" {
+		fatalf("run: -workload is required")
+	}
+	emit(c.post("/v1/run", serve.RunRequest{
+		Workload: *workload, Mode: *mode, Insts: *insts, DeadlineMs: *deadline,
+	}))
+}
+
+func cmdSuite(c *client, args []string) {
+	fs := flag.NewFlagSet("suite", flag.ExitOnError)
+	wls := fs.String("workloads", "", "comma-separated workload names (required)")
+	modes := fs.String("modes", "", "comma-separated fusion modes (default: all)")
+	insts := fs.Uint64("insts", 0, "instruction budget (0 = server default)")
+	deadline := fs.Int64("deadline-ms", 0, "per-request deadline in ms")
+	fs.Parse(args)
+	if *wls == "" {
+		fatalf("suite: -workloads is required")
+	}
+	emit(c.post("/v1/suite", serve.SuiteRequest{
+		Workloads: splitList(*wls), Modes: splitList(*modes),
+		Insts: *insts, DeadlineMs: *deadline,
+	}))
+}
+
+func cmdDiff(c *client, args []string) {
+	fs := flag.NewFlagSet("diff", flag.ExitOnError)
+	wls := fs.String("workloads", "", "comma-separated workload names (required)")
+	baseline := fs.String("baseline", "NoFusion", "baseline fusion mode")
+	target := fs.String("target", "Helios", "target fusion mode")
+	insts := fs.Uint64("insts", 0, "instruction budget (0 = server default)")
+	deadline := fs.Int64("deadline-ms", 0, "per-request deadline in ms")
+	csv := fs.Bool("csv", false, "print the CSV report instead of markdown")
+	fs.Parse(args)
+	if *wls == "" {
+		fatalf("diff: -workloads is required")
+	}
+	status, body := c.post("/v1/diff", serve.DiffRequest{
+		Workloads: splitList(*wls), BaselineMode: *baseline, TargetMode: *target,
+		Insts: *insts, DeadlineMs: *deadline,
+	})
+	if status != 200 {
+		emit(status, body)
+		return
+	}
+	var dr serve.DiffResponse
+	if err := json.Unmarshal(body, &dr); err != nil {
+		fatalf("decode diff response: %v", err)
+	}
+	if *csv {
+		fmt.Print(dr.CSV)
+	} else {
+		fmt.Print(dr.Markdown)
+	}
+}
+
+// cmdHealth polls /healthz until the server answers (with -wait) or
+// reports the current answer once.
+func cmdHealth(c *client, args []string) {
+	fs := flag.NewFlagSet("health", flag.ExitOnError)
+	wait := fs.Duration("wait", 0, "poll until the server is up, for at most this long")
+	fs.Parse(args)
+	if *wait <= 0 {
+		emit(c.get("/healthz"))
+		return
+	}
+	//helios:nondeterminism-ok startup-poll deadline, not simulation state
+	deadline := time.Now().Add(*wait)
+	for {
+		status, body, _, _, err := c.once("GET", "/healthz", nil)
+		if err == nil && status == 200 {
+			emit(status, body)
+			return
+		}
+		if time.Now().After(deadline) {
+			fatalf("server not healthy within %s (last: status %d, err %v)", wait, status, err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// cmdRaw sends one arbitrary request with no retries and optionally
+// asserts the status — the smoke harness's hostile-input probe.
+func cmdRaw(c *client, args []string) {
+	fs := flag.NewFlagSet("raw", flag.ExitOnError)
+	path := fs.String("path", "/v1/run", "request path")
+	body := fs.String("body", "", "request body (sent verbatim)")
+	method := fs.String("method", "POST", "HTTP method")
+	expect := fs.Int("expect", 0, "fail unless the response status matches (0 = accept any)")
+	fs.Parse(args)
+	status, respBody, _, _, err := c.once(*method, *path, []byte(*body))
+	if err != nil {
+		fatalf("raw %s %s: %v", *method, *path, err)
+	}
+	os.Stdout.Write(append(bytes.TrimRight(respBody, "\n"), '\n'))
+	if *expect != 0 && status != *expect {
+		fatalf("raw %s %s: status %d, expected %d", *method, *path, status, *expect)
+	}
+	if *expect == 0 && (status < 200 || status > 299) {
+		os.Exit(1)
+	}
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,127 @@
+// Command heliosd serves the simulation engine as a long-running
+// HTTP+JSON service with a robustness-first envelope: content-addressed
+// result caching, micro-batched record phases, a bounded admission
+// queue with typed 429s, per-request deadlines, panic isolation,
+// graceful degradation of corrupt cached recordings, and a clean
+// SIGTERM drain.
+//
+// Usage:
+//
+//	heliosd -addr :8080
+//	heliosd -addr :8080 -queue 32 -deadline 15s -batch-size 16
+//	heliosd -addr :8080 -manifest-dir /var/lib/helios/manifests
+//
+// Endpoints:
+//
+//	POST /v1/run        one workload×config simulation
+//	POST /v1/suite      a workload×mode matrix
+//	POST /v1/diff       a rendered differential report
+//	GET  /v1/workloads  the registered workload catalogue
+//	GET  /healthz /readyz /metricz
+//
+// On SIGTERM/SIGINT the server stops admitting work (503 draining),
+// finishes every in-flight request within -drain, flushes manifests,
+// and exits 0. A second signal aborts immediately with exit 1.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"helios/internal/core"
+	"helios/internal/serve"
+)
+
+func main() {
+	def := serve.DefaultConfig()
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		queue       = flag.Int("queue", def.QueueDepth, "admission queue depth (concurrent requests before typed 429s)")
+		deadline    = flag.Duration("deadline", def.DefaultDeadline, "default per-request deadline when the client sends none")
+		maxDeadline = flag.Duration("max-deadline", def.MaxDeadline, "clamp on client-supplied deadlines")
+		drain       = flag.Duration("drain", 30*time.Second, "graceful-drain budget after SIGTERM")
+		batchSize   = flag.Int("batch-size", def.MaxBatch, "micro-batch cut size (requests sharing one record phase)")
+		batchWait   = flag.Duration("batch-latency", def.BatchWait, "micro-batch cut latency (wait for co-batchable requests)")
+		maxBody     = flag.Int64("max-body", def.MaxBodyBytes, "request body byte limit (typed 413 beyond)")
+		insts       = flag.Uint64("insts", 0, "default instruction budget (0 = each workload's own)")
+		workers     = flag.Int("workers", 0, "suite-endpoint scheduler workers (0 = GOMAXPROCS)")
+		manifestDir = flag.String("manifest-dir", "", "write a JSON manifest per completed run into this directory")
+		retryAfter  = flag.Duration("retry-after", def.RetryAfter, "backoff hint attached to overload/draining rejections")
+	)
+	flag.Parse()
+	if err := run(*addr, *drain, serve.Config{
+		QueueDepth:      *queue,
+		DefaultDeadline: *deadline,
+		MaxDeadline:     *maxDeadline,
+		RetryAfter:      *retryAfter,
+		MaxBodyBytes:    *maxBody,
+		MaxBatch:        *batchSize,
+		BatchWait:       *batchWait,
+		DefaultInsts:    *insts,
+		SuiteWorkers:    *workers,
+		ManifestDir:     *manifestDir,
+		Logf:            logf,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "heliosd:", err)
+		os.Exit(1)
+	}
+}
+
+func logf(format string, args ...any) {
+	//helios:nondeterminism-ok operational log timestamps, not simulation state
+	fmt.Fprintf(os.Stderr, time.Now().UTC().Format("2006-01-02T15:04:05.000Z")+" "+format+"\n", args...)
+}
+
+func run(addr string, drainBudget time.Duration, cfg serve.Config) error {
+	if cfg.ManifestDir != "" {
+		if err := os.MkdirAll(cfg.ManifestDir, 0o755); err != nil {
+			return fmt.Errorf("manifest dir: %w", err)
+		}
+	}
+
+	// Root context: cancelled on the first SIGTERM/SIGINT. The server's
+	// background work (batch record phases) hangs off a separate context
+	// so in-flight batches survive into the drain window.
+	sigCtx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	srvCtx, srvCancel := context.WithCancel(context.Background())
+	defer srvCancel()
+
+	s := serve.New(srvCtx, cfg)
+	httpSrv := &http.Server{Addr: addr, Handler: s.Handler()}
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	logf("heliosd %s listening on %s (queue=%d deadline=%s batch=%d/%s)",
+		core.EngineVersion(), addr, cfg.QueueDepth, cfg.DefaultDeadline, cfg.MaxBatch, cfg.BatchWait)
+
+	select {
+	case err := <-errc:
+		return fmt.Errorf("listen on %s: %w", addr, err)
+	case <-sigCtx.Done():
+	}
+	stop() // restore default signal behaviour: a second signal kills us
+
+	logf("signal received; draining (budget %s)", drainBudget)
+	dctx, dcancel := context.WithTimeout(context.Background(), drainBudget)
+	defer dcancel()
+	drainErr := s.Drain(dctx)
+	if err := httpSrv.Shutdown(dctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		logf("http shutdown: %v", err)
+	}
+	srvCancel() // now stop background batch work
+	if drainErr != nil {
+		return fmt.Errorf("drain: %w", drainErr)
+	}
+	c := s.Counters()
+	logf("drained clean: %d admitted, %d completed, %d manifests; exiting 0",
+		c.Admitted, c.Completed, c.ManifestsWritten)
+	return nil
+}

@@ -1,0 +1,123 @@
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"helios/internal/trace"
+)
+
+// ServiceVerdict classifies one request outcome against the service
+// failure contract (DESIGN.md §14): every response a client receives is
+// either a valid result or a typed, machine-readable error — never a
+// panic, a hang, or an unclassifiable failure.
+type ServiceVerdict int
+
+const (
+	// ServiceClean: a well-formed successful result.
+	ServiceClean ServiceVerdict = iota
+	// ServiceTypedError: a machine-readable typed error (overload,
+	// deadline, bad request, engine fault, ...).
+	ServiceTypedError
+	// ServiceViolation: anything else — an untyped failure, a response
+	// that parses as neither result nor typed error, a panic, a hang.
+	ServiceViolation
+)
+
+// ServiceCampaign is the server-level fault campaign driver: `clients`
+// concurrent clients each issue `perClient` requests through `do`,
+// which performs one request (hostile or benign — the caller arms the
+// faults) and classifies the outcome. The driver supplies the contract
+// enforcement around it: a panic inside `do` is recovered and reported
+// as a violation, and a call that exceeds `timeout` is reported as a
+// hung request — the one failure a server must never produce, because a
+// client cannot distinguish it from a dead service.
+//
+// Outcomes aggregate into the same Report as the stream/file/pipeline
+// campaigns: Runs == Clean + TypedErrors with empty Violations is the
+// passing contract.
+func ServiceCampaign(ctx context.Context, clients, perClient int, timeout time.Duration,
+	do func(ctx context.Context, client, seq int) (ServiceVerdict, string)) Report {
+	var (
+		mu  sync.Mutex
+		rep Report
+	)
+	note := func(v ServiceVerdict, detail string, client, seq int) {
+		mu.Lock()
+		defer mu.Unlock()
+		rep.Runs++
+		switch v {
+		case ServiceClean:
+			rep.Clean++
+		case ServiceTypedError:
+			rep.TypedErrors++
+		default:
+			rep.violation("client %d seq %d: %s", client, seq, detail)
+		}
+	}
+
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				if ctx.Err() != nil {
+					return
+				}
+				v, detail := watchdogCall(ctx, timeout, c, i, do)
+				note(v, detail, c, i)
+			}
+		}(c)
+	}
+	wg.Wait()
+	return rep
+}
+
+// watchdogCall runs one `do` invocation under a panic recovery and a
+// hang watchdog. On timeout the request goroutine is abandoned (its
+// context is cancelled, and its eventual result is discarded) — exactly
+// what a real client does to a hung server.
+func watchdogCall(ctx context.Context, timeout time.Duration, client, seq int,
+	do func(ctx context.Context, client, seq int) (ServiceVerdict, string)) (ServiceVerdict, string) {
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	type outcome struct {
+		v      ServiceVerdict
+		detail string
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				done <- outcome{ServiceViolation, fmt.Sprintf("request panicked: %v", r)}
+			}
+		}()
+		v, d := do(cctx, client, seq)
+		done <- outcome{v, d}
+	}()
+	select {
+	case o := <-done:
+		return o.v, o.detail
+	case <-time.After(timeout):
+		return ServiceViolation, fmt.Sprintf("hung request (no response in %v)", timeout)
+	}
+}
+
+// CorruptRecording returns a copy of rec with one record mutated into
+// an impossible value (the FaultCorruptRecord variants: bad opcode,
+// register, access size, or a sequence jump). The copy records cleanly
+// but fails the pipeline's stream validation on replay — the poisoned
+// cache entry used to exercise a service's graceful-degradation path.
+func CorruptRecording(rec *trace.Recording, at uint64, seed int64) (*trace.Recording, error) {
+	f := StreamFault{Kind: FaultCorruptRecord, At: at, Seed: seed}
+	bad, err := trace.Record(Inject(rec.Replay(), f))
+	if err != nil {
+		return nil, fmt.Errorf("chaos: re-record with corruption: %w", err)
+	}
+	bad.Name = rec.Name
+	bad.MaxInsts = rec.MaxInsts
+	return bad, nil
+}

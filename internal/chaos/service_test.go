@@ -1,0 +1,87 @@
+package chaos
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"helios/internal/fusion"
+	"helios/internal/ooo"
+	"helios/internal/workloads"
+)
+
+// TestServiceCampaignClassification drives the campaign with a `do`
+// that produces every outcome class and checks the contract arithmetic:
+// Runs == Clean + TypedErrors + len(Violations), panics are recovered
+// into violations, and hangs are caught by the watchdog.
+func TestServiceCampaignClassification(t *testing.T) {
+	rep := ServiceCampaign(context.Background(), 4, 5, 200*time.Millisecond,
+		func(ctx context.Context, client, seq int) (ServiceVerdict, string) {
+			switch seq {
+			case 0:
+				return ServiceClean, ""
+			case 1:
+				return ServiceTypedError, ""
+			case 2:
+				panic("handler exploded")
+			case 3:
+				<-ctx.Done() // hang until the watchdog gives up
+				return ServiceClean, ""
+			default:
+				return ServiceViolation, "untyped failure"
+			}
+		})
+	if rep.Runs != 20 {
+		t.Fatalf("Runs = %d, want 20", rep.Runs)
+	}
+	if rep.Clean != 4 || rep.TypedErrors != 4 {
+		t.Errorf("Clean/TypedErrors = %d/%d, want 4/4", rep.Clean, rep.TypedErrors)
+	}
+	if len(rep.Violations) != 12 {
+		t.Fatalf("Violations = %d, want 12:\n%s", len(rep.Violations), strings.Join(rep.Violations, "\n"))
+	}
+	var panics, hangs int
+	for _, v := range rep.Violations {
+		if strings.Contains(v, "panicked") {
+			panics++
+		}
+		if strings.Contains(v, "hung request") {
+			hangs++
+		}
+	}
+	if panics != 4 || hangs != 4 {
+		t.Errorf("panic/hang violations = %d/%d, want 4/4", panics, hangs)
+	}
+}
+
+// TestCorruptRecordingFailsReplay pins the helper's contract: the
+// corrupted copy has the same identity as the original, and the
+// pipeline rejects it with a typed corrupt-stream error.
+func TestCorruptRecordingFailsReplay(t *testing.T) {
+	w, ok := workloads.ByName("crc32")
+	if !ok {
+		t.Fatal("crc32 workload missing")
+	}
+	rec, err := w.Record(5_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, err := CorruptRecording(rec, uint64(rec.Len()/2), 12345)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad.Name != rec.Name || bad.MaxInsts != rec.MaxInsts {
+		t.Errorf("identity not preserved: %s@%d vs %s@%d", bad.Name, bad.MaxInsts, rec.Name, rec.MaxInsts)
+	}
+	p := ooo.New(ooo.DefaultConfig(fusion.ModeNoFusion), bad.Replay())
+	_, err = p.RunChecked(256)
+	if err == nil {
+		t.Fatal("corrupted recording replayed cleanly")
+	}
+	var se *ooo.SimError
+	if !errors.As(err, &se) || se.Kind != ooo.FailCorrupt {
+		t.Fatalf("err = %v, want a %s SimError", err, ooo.FailCorrupt)
+	}
+}

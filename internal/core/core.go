@@ -27,6 +27,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime/debug"
 	"sort"
 	"sync"
 	"time"
@@ -37,6 +38,51 @@ import (
 	"helios/internal/trace"
 	"helios/internal/workloads"
 )
+
+// engineSchema names the cycle-level engine's semantic generation. Bump
+// it when the model changes in a way that makes previously computed
+// results incomparable (new stall accounting, different fusion rules,
+// ...): every result cache — the in-process Suite cache and any
+// content-addressed store built on EngineVersion — keys on it, so a
+// schema bump invalidates stale results instead of serving them.
+const engineSchema = "helios-engine/1"
+
+// engineVersion is computed once per process: the semantic schema plus
+// the VCS identity of the binary, when the build embedded one.
+var engineVersion = func() string {
+	v := engineSchema
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return v
+	}
+	var rev string
+	dirty := false
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		v += "+" + rev
+		if dirty {
+			v += ".dirty"
+		}
+	}
+	return v
+}()
+
+// EngineVersion identifies the simulation engine this process runs:
+// the semantic schema plus the build's VCS revision. It is folded into
+// every Suite cache key and is the engine component of heliosd's
+// content-addressed result keys, so results produced by a different
+// engine can never be served as current.
+func EngineVersion() string { return engineVersion }
 
 // Result is the outcome of simulating one workload under one fusion mode.
 type Result struct {
@@ -172,9 +218,16 @@ type Suite struct {
 	metrics Metrics
 }
 
+// suiteKey identifies one cached Result. It carries everything the
+// result depends on: the workload, the fusion mode, the resolved
+// instruction budget and the engine version — so a budget change (or a
+// result produced by a different engine build) can never be served as a
+// hit for the current request.
 type suiteKey struct {
 	workload string
 	mode     fusion.Mode
+	budget   uint64
+	engine   string
 }
 
 type traceKey struct {
@@ -212,16 +265,17 @@ func (s *Suite) Metrics() Metrics {
 }
 
 // CacheSnapshot returns the cached result keys as sorted
-// "workload/mode" strings. The result cache is map-keyed, so the
+// "workload/mode@budget" strings. The result cache is map-keyed, so the
 // iteration here is explicitly sorted — `experiments -metrics` output
 // and crash-dump context must be byte-stable across identical runs.
+// The engine component is omitted: within one process it is constant.
 func (s *Suite) CacheSnapshot() []string {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	keys := make([]string, 0, len(s.cache))
 	//helios:nondeterminism-ok keys are sorted below before being returned
 	for k := range s.cache {
-		keys = append(keys, k.workload+"/"+k.mode.String())
+		keys = append(keys, fmt.Sprintf("%s/%s@%d", k.workload, k.mode, k.budget))
 	}
 	sort.Strings(keys)
 	return keys
@@ -245,12 +299,28 @@ func (s *Suite) SeedRecording(rec *trace.Recording) {
 	s.traces[traceKey{rec.Name, rec.MaxInsts}] = &traceEntry{rec: rec}
 }
 
-// Get returns the (cached) result for one workload/mode pair. Concurrent
-// calls for the same uncached key share a single simulation. Context
-// failures abort the wait or the run but are never cached, so a later
-// Get with a live context retries.
+// Get returns the (cached) result for one workload/mode pair at the
+// suite's budget. Concurrent calls for the same uncached key share a
+// single simulation. Context failures abort the wait or the run but are
+// never cached, so a later Get with a live context retries.
 func (s *Suite) Get(ctx context.Context, name string, mode fusion.Mode) (*Result, error) {
-	key := suiteKey{name, mode}
+	return s.GetBudget(ctx, name, mode, 0)
+}
+
+// GetBudget is Get with an explicit per-call instruction budget
+// (0 = the suite's own budget, falling back to the workload default).
+// The resolved budget is part of the cache key, so one Suite serves
+// mixed-budget traffic — heliosd's request path — without any risk of a
+// budget change returning a stale result.
+func (s *Suite) GetBudget(ctx context.Context, name string, mode fusion.Mode, budget uint64) (*Result, error) {
+	w, ok := workloads.ByName(name)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown workload %q", name)
+	}
+	if budget == 0 {
+		budget = s.budget(w)
+	}
+	key := suiteKey{name, mode, budget, engineVersion}
 	s.mu.Lock()
 	for {
 		if r, ok := s.cache[key]; ok {
@@ -275,7 +345,7 @@ func (s *Suite) Get(ctx context.Context, name string, mode fusion.Mode) (*Result
 	s.resFlight[key] = ch
 	s.mu.Unlock()
 
-	r, err := s.run(ctx, name, mode)
+	r, err := s.run(ctx, w, mode, budget)
 
 	s.mu.Lock()
 	if !isCtxErr(err) {
@@ -291,39 +361,62 @@ func (s *Suite) Get(ctx context.Context, name string, mode fusion.Mode) (*Result
 // run performs one uncached simulation: fetch (or make) the workload's
 // recording, replay it through the pipeline under the given mode, and on
 // a replay failure degrade to one live re-emulation.
-func (s *Suite) run(ctx context.Context, name string, mode fusion.Mode) (*Result, error) {
-	w, ok := workloads.ByName(name)
-	if !ok {
-		return nil, fmt.Errorf("core: unknown workload %q", name)
-	}
-	budget := s.budget(w)
+func (s *Suite) run(ctx context.Context, w workloads.Workload, mode fusion.Mode, budget uint64) (*Result, error) {
 	rec, err := s.recording(ctx, w, budget)
 	if err != nil {
 		return nil, err
 	}
-	r, runErr := s.replay(ctx, name, mode, rec, budget)
+	return s.replayDegrade(ctx, w, ooo.DefaultConfig(mode), rec, budget)
+}
+
+// ReplayConfig replays the workload's shared recording under an explicit
+// machine configuration, with the same graceful degradation as Get: a
+// recording that fails to replay is re-emulated live exactly once. The
+// result is never cached here — custom configurations are open-ended, so
+// caching is the caller's job (heliosd keys them by content hash) — but
+// the record-once trace and its repair path are fully shared with the
+// default-config traffic.
+func (s *Suite) ReplayConfig(ctx context.Context, name string, cfg ooo.Config, budget uint64) (*Result, error) {
+	w, ok := workloads.ByName(name)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown workload %q", name)
+	}
+	if budget == 0 {
+		budget = s.budget(w)
+	}
+	rec, err := s.recording(ctx, w, budget)
+	if err != nil {
+		return nil, err
+	}
+	return s.replayDegrade(ctx, w, cfg, rec, budget)
+}
+
+// replayDegrade is the replay half of one simulation: run the recording
+// through the pipeline, and if the replay fails for a non-context reason
+// (corrupt trace file, truncated stream, ...) degrade gracefully —
+// re-emulate the workload live, once per trace key, and retry against
+// the fresh recording.
+func (s *Suite) replayDegrade(ctx context.Context, w workloads.Workload, cfg ooo.Config, rec *trace.Recording, budget uint64) (*Result, error) {
+	r, runErr := s.replay(ctx, w.Name, cfg, rec, budget)
 	if runErr == nil || isCtxErr(runErr) {
 		return r, runErr
 	}
-	// The recording failed to replay (corrupt trace file, truncated
-	// stream, ...). Degrade: re-emulate the workload live — once per
-	// trace key — and retry against the fresh recording.
 	fresh, ferr := s.repairRecording(ctx, w, budget, rec)
 	if ferr != nil {
-		return nil, fmt.Errorf("core: %s: replay failed (%w) and live fallback failed: %w", name, runErr, ferr)
+		return nil, fmt.Errorf("core: %s: replay failed (%w) and live fallback failed: %w", w.Name, runErr, ferr)
 	}
 	if fresh == rec {
 		// Already the repaired recording: the failure is real.
 		return r, runErr
 	}
-	return s.replay(ctx, name, mode, fresh, budget)
+	return s.replay(ctx, w.Name, cfg, fresh, budget)
 }
 
 // replay runs one cycle-level simulation over a recording, with timing
 // accounted to the suite metrics.
-func (s *Suite) replay(ctx context.Context, name string, mode fusion.Mode, rec *trace.Recording, budget uint64) (*Result, error) {
+func (s *Suite) replay(ctx context.Context, name string, cfg ooo.Config, rec *trace.Recording, budget uint64) (*Result, error) {
 	start := time.Now() //helios:nondeterminism-ok wall-time metrics only; simulated results never read it
-	r, err := RunSource(ctx, name, ooo.DefaultConfig(mode), rec.Replay(), budget)
+	r, err := RunSource(ctx, name, cfg, rec.Replay(), budget)
 	s.mu.Lock()
 	s.metrics.Replays++
 	s.metrics.PipelineRuns++
@@ -371,11 +464,23 @@ func (s *Suite) ObserveReplay(ctx context.Context, name string, mode fusion.Mode
 // budget, materializing it on first use (experiment drivers replay it for
 // trace analyses without re-emulating).
 func (s *Suite) Recording(ctx context.Context, name string) (*trace.Recording, error) {
+	return s.RecordingBudget(ctx, name, 0)
+}
+
+// RecordingBudget is Recording with an explicit instruction budget
+// (0 = the suite's budget). heliosd's micro-batcher uses it as the
+// batch's single record phase: one call under the server's root context
+// materializes the trace, and every request in the batch then replays a
+// guaranteed warm recording under its own deadline.
+func (s *Suite) RecordingBudget(ctx context.Context, name string, budget uint64) (*trace.Recording, error) {
 	w, ok := workloads.ByName(name)
 	if !ok {
 		return nil, fmt.Errorf("core: unknown workload %q", name)
 	}
-	return s.recording(ctx, w, s.budget(w))
+	if budget == 0 {
+		budget = s.budget(w)
+	}
+	return s.recording(ctx, w, budget)
 }
 
 // recording is the record-once half: per (workload, budget) key, the

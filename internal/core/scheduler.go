@@ -11,10 +11,13 @@ import (
 )
 
 // Cell is one workload×mode unit of suite work: the granularity at which
-// the scheduler fans the replay phase out across workers.
+// the scheduler fans the replay phase out across workers. Budget is the
+// per-cell instruction bound (0 = the suite's budget); heliosd's suite
+// endpoint sets it so mixed-budget request matrices share one scheduler.
 type Cell struct {
 	Workload string
 	Mode     fusion.Mode
+	Budget   uint64
 }
 
 // CellWall is the observed wall time of one scheduled cell. With cells
@@ -77,7 +80,7 @@ func (s *Suite) RunCells(ctx context.Context, cells []Cell, workers int) []CellR
 					continue
 				}
 				t0 := time.Now() //helios:nondeterminism-ok wall-time metrics only; simulated results never read it
-				r, err := s.Get(ctx, c.Workload, c.Mode)
+				r, err := s.GetBudget(ctx, c.Workload, c.Mode, c.Budget)
 				out[i] = CellResult{Cell: c, Result: r, Err: err, Wall: time.Since(t0)}
 			}
 		}()

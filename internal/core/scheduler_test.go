@@ -14,10 +14,10 @@ import (
 // same objects a serial suite would hand out.
 func TestRunCellsIndexedAssembly(t *testing.T) {
 	cells := []Cell{
-		{"crc32", fusion.ModeNoFusion},
-		{"crc32", fusion.ModeHelios},
-		{"sha", fusion.ModeNoFusion},
-		{"sha", fusion.ModeHelios},
+		{Workload: "crc32", Mode: fusion.ModeNoFusion},
+		{Workload: "crc32", Mode: fusion.ModeHelios},
+		{Workload: "sha", Mode: fusion.ModeNoFusion},
+		{Workload: "sha", Mode: fusion.ModeHelios},
 	}
 
 	par := NewSuite(15_000)
@@ -88,8 +88,8 @@ func TestRunCellsDeterministicMetrics(t *testing.T) {
 			t.Errorf("workers=%d: wall accounting missing (fanout=%v, cells=%d)", workers, m.FanoutWall, len(m.CellWalls))
 		}
 		for i, cw := range m.CellWalls {
-			wantCell := Cell{names[i/len(modes)], modes[i%len(modes)]}
-			if (Cell{cw.Workload, cw.Mode}) != wantCell {
+			wantCell := Cell{Workload: names[i/len(modes)], Mode: modes[i%len(modes)]}
+			if (Cell{Workload: cw.Workload, Mode: cw.Mode}) != wantCell {
 				t.Errorf("workers=%d: CellWalls[%d] = %s/%v, want %s/%v (order must be input order)",
 					workers, i, cw.Workload, cw.Mode, wantCell.Workload, wantCell.Mode)
 			}
@@ -105,8 +105,8 @@ func TestRunCellsCancellation(t *testing.T) {
 	cancel()
 	s := NewSuite(15_000)
 	cells := []Cell{
-		{"crc32", fusion.ModeNoFusion},
-		{"sha", fusion.ModeHelios},
+		{Workload: "crc32", Mode: fusion.ModeNoFusion},
+		{Workload: "sha", Mode: fusion.ModeHelios},
 	}
 	out := s.RunCells(ctx, cells, 2)
 	for i, cr := range out {

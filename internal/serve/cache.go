@@ -1,0 +1,95 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"helios/internal/core"
+)
+
+// resultCache is the content-addressed result store plus the
+// singleflight layer that deduplicates in-flight misses: the first
+// request for a key runs the simulation, every concurrent identical
+// request waits on the same flight, and later requests are pure hits.
+// The pattern (flight channel under one mutex, re-check loop after
+// every wait) is the one proven in core.Suite; context failures are
+// never cached, so a deadline that expires while waiting poisons
+// nothing.
+type resultCache struct {
+	mu      sync.Mutex
+	entries map[string]*cacheEntry
+	flight  map[string]chan struct{}
+
+	hits      uint64
+	misses    uint64
+	coalesced uint64
+}
+
+type cacheEntry struct {
+	res *core.Result
+	err error
+}
+
+func newResultCache() *resultCache {
+	return &resultCache{
+		entries: make(map[string]*cacheEntry),
+		flight:  make(map[string]chan struct{}),
+	}
+}
+
+// do returns the cached result for key, or runs fn once to produce it.
+// cached reports a pure hit; coalesced reports that this call waited on
+// an identical in-flight run. Errors are cached (a deterministic
+// request that faults will fault again) except context failures, which
+// belong to the caller, not the key.
+func (c *resultCache) do(ctx context.Context, key string, fn func() (*core.Result, error)) (res *core.Result, cached, coalesced bool, err error) {
+	c.mu.Lock()
+	for {
+		if e, ok := c.entries[key]; ok {
+			c.hits++
+			c.mu.Unlock()
+			return e.res, !coalesced, coalesced, e.err
+		}
+		ch, inflight := c.flight[key]
+		if !inflight {
+			break
+		}
+		c.coalesced++
+		coalesced = true
+		c.mu.Unlock()
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return nil, false, true, ctx.Err()
+		}
+		c.mu.Lock()
+	}
+	ch := make(chan struct{})
+	c.flight[key] = ch
+	c.misses++
+	c.mu.Unlock()
+
+	res, err = fn()
+
+	c.mu.Lock()
+	if !isCtxErr(err) {
+		c.entries[key] = &cacheEntry{res: res, err: err}
+	}
+	delete(c.flight, key)
+	c.mu.Unlock()
+	close(ch)
+	return res, false, coalesced, err
+}
+
+// stats snapshots the cache counters.
+func (c *resultCache) stats() (entries int, hits, misses, coalesced uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries), c.hits, c.misses, c.coalesced
+}
+
+// isCtxErr reports whether err is a cancellation/deadline failure.
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}

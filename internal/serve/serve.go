@@ -1,0 +1,688 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"helios/internal/core"
+	"helios/internal/fusion"
+	"helios/internal/ooo"
+	"helios/internal/report"
+	"helios/internal/stats"
+	"helios/internal/workloads"
+)
+
+// Config tunes the service's robustness envelope. The zero value is not
+// usable; start from DefaultConfig.
+type Config struct {
+	// QueueDepth bounds concurrently admitted requests — the admission
+	// queue. Request QueueDepth+1 is rejected with a typed 429.
+	QueueDepth int
+	// DefaultDeadline applies when a request carries no deadline_ms;
+	// MaxDeadline clamps client-supplied deadlines.
+	DefaultDeadline time.Duration
+	MaxDeadline     time.Duration
+	// RetryAfter is the backoff hint attached to overload/draining
+	// rejections.
+	RetryAfter time.Duration
+	// MaxBodyBytes bounds request bodies; larger bodies get a typed 413.
+	MaxBodyBytes int64
+	// MaxBatch / BatchWait bound the micro-batcher: a pending batch is
+	// cut at MaxBatch requests or BatchWait after its first request.
+	MaxBatch  int
+	BatchWait time.Duration
+	// DefaultInsts is the instruction budget when a request sends none
+	// (0 = each workload's own budget).
+	DefaultInsts uint64
+	// SuiteWorkers bounds the suite endpoint's scheduler fan-out
+	// (0 = GOMAXPROCS).
+	SuiteWorkers int
+	// ManifestDir, when set, receives a per-request JSON manifest
+	// (config + stats + build identity) for every completed /v1/run.
+	ManifestDir string
+	// Logf receives operational log lines (nil = silent).
+	Logf func(format string, args ...any)
+}
+
+// DefaultConfig returns the production defaults.
+func DefaultConfig() Config {
+	return Config{
+		QueueDepth:      64,
+		DefaultDeadline: 30 * time.Second,
+		MaxDeadline:     2 * time.Minute,
+		RetryAfter:      500 * time.Millisecond,
+		MaxBodyBytes:    1 << 20,
+		MaxBatch:        8,
+		BatchWait:       2 * time.Millisecond,
+	}
+}
+
+// Counters is the server's cumulative request telemetry, exposed by
+// /metricz and the smoke tooling. All fields are monotonic.
+type Counters struct {
+	Admitted         uint64 `json:"admitted"`
+	RejectedOverload uint64 `json:"rejected_overload"`
+	RejectedDraining uint64 `json:"rejected_draining"`
+	BadRequests      uint64 `json:"bad_requests"`
+	Oversized        uint64 `json:"oversized"`
+	DeadlineExpired  uint64 `json:"deadline_expired"`
+	Canceled         uint64 `json:"canceled"`
+	EngineFaults     uint64 `json:"engine_faults"`
+	PanicsRecovered  uint64 `json:"panics_recovered"`
+	Completed        uint64 `json:"completed"`
+	ManifestsWritten uint64 `json:"manifests_written"`
+	ManifestErrors   uint64 `json:"manifest_errors"`
+}
+
+// Server is the heliosd service core: it owns the suite (record-once
+// cache + scheduler), the content-addressed result cache, the
+// micro-batcher and the robustness envelope. It is transport-agnostic —
+// Handler returns the http.Handler; the cmd owns the listener.
+type Server struct {
+	cfg     Config
+	suite   *core.Suite
+	cache   *resultCache
+	batch   *batcher
+	baseCtx context.Context
+
+	wg sync.WaitGroup
+
+	mu          sync.Mutex
+	draining    bool
+	inflight    int
+	maxInflight int
+	c           Counters
+	latency     stats.Histogram // completed-request wall time, microseconds
+}
+
+// New builds a server rooted at ctx: the context bounds background work
+// (the batcher's shared record phases) and should be the process root.
+func New(ctx context.Context, cfg Config) *Server {
+	if cfg.QueueDepth < 1 {
+		cfg.QueueDepth = 1
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 1 << 20
+	}
+	suite := core.NewSuite(cfg.DefaultInsts)
+	return &Server{
+		cfg:     cfg,
+		suite:   suite,
+		cache:   newResultCache(),
+		batch:   newBatcher(ctx, suite, cfg.MaxBatch, cfg.BatchWait),
+		baseCtx: ctx,
+	}
+}
+
+// Suite exposes the underlying record/replay cache — the chaos soak
+// seeds poisoned recordings through it, and cmds surface its metrics.
+func (s *Server) Suite() *core.Suite { return s.suite }
+
+// MaxInflight reports the admission high-water mark; the soak test
+// asserts it never exceeds QueueDepth.
+func (s *Server) MaxInflight() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.maxInflight
+}
+
+// Counters snapshots the request telemetry.
+func (s *Server) Counters() Counters {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.c
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// Handler returns the service's http.Handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/run", s.api(s.handleRun))
+	mux.HandleFunc("POST /v1/suite", s.api(s.handleSuite))
+	mux.HandleFunc("POST /v1/diff", s.api(s.handleDiff))
+	mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("GET /metricz", s.handleMetricz)
+	return mux
+}
+
+// Drain stops admission (new API requests get a typed 503) and waits
+// for every in-flight request to finish or ctx to expire. Manifests are
+// written synchronously inside each request, so a nil return means all
+// results and manifests reached their destinations.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		n := s.inflight
+		s.mu.Unlock()
+		return fmt.Errorf("serve: drain deadline expired with %d request(s) in flight: %w", n, ctx.Err())
+	}
+}
+
+// api wraps an endpoint with the robustness envelope, outermost first:
+// panic isolation (a handler or engine fault becomes a structured 500,
+// never process death), drain refusal, bounded admission, body limit,
+// and error classification.
+func (s *Server) api(h func(ctx context.Context, r *http.Request) (any, *Error)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.mu.Lock()
+				s.c.PanicsRecovered++
+				s.mu.Unlock()
+				writeError(w, &Error{Kind: ErrInternal,
+					Msg: fmt.Sprintf("recovered handler panic: %v", rec)})
+			}
+		}()
+		if e := s.admitOne(); e != nil {
+			writeError(w, e)
+			return
+		}
+		t0 := time.Now()
+		defer s.releaseOne(t0)
+		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+		resp, e := h(r.Context(), r)
+		if e != nil {
+			s.noteError(e)
+			writeError(w, e)
+			return
+		}
+		s.mu.Lock()
+		s.c.Completed++
+		s.mu.Unlock()
+		writeJSON(w, http.StatusOK, resp)
+	}
+}
+
+// admitOne is the bounded admission queue: it refuses drains and
+// overload under one lock so the inflight count can never exceed
+// QueueDepth, and registers the request with the drain group.
+func (s *Server) admitOne() *Error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		s.c.RejectedDraining++
+		return &Error{Kind: ErrDraining, Msg: "server is draining",
+			RetryAfterMs: s.cfg.RetryAfter.Milliseconds()}
+	}
+	if s.inflight >= s.cfg.QueueDepth {
+		s.c.RejectedOverload++
+		return &Error{Kind: ErrOverload,
+			Msg:          fmt.Sprintf("admission queue full (%d in flight)", s.inflight),
+			RetryAfterMs: s.cfg.RetryAfter.Milliseconds()}
+	}
+	s.inflight++
+	if s.inflight > s.maxInflight {
+		s.maxInflight = s.inflight
+	}
+	s.c.Admitted++
+	s.wg.Add(1)
+	return nil
+}
+
+func (s *Server) releaseOne(t0 time.Time) {
+	us := time.Since(t0).Microseconds()
+	s.mu.Lock()
+	s.inflight--
+	s.latency.Observe(uint64(us))
+	s.mu.Unlock()
+	s.wg.Done()
+}
+
+// noteError counts a classified failure.
+func (s *Server) noteError(e *Error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch e.Kind {
+	case ErrBadRequest:
+		s.c.BadRequests++
+	case ErrOversized:
+		s.c.Oversized++
+	case ErrDeadline:
+		s.c.DeadlineExpired++
+	case ErrCanceled:
+		s.c.Canceled++
+	case ErrEngine:
+		s.c.EngineFaults++
+	}
+}
+
+// reqCtx derives the request's deadline context: client-supplied
+// deadline_ms, clamped to MaxDeadline, defaulting to DefaultDeadline.
+func (s *Server) reqCtx(ctx context.Context, deadlineMs int64) (context.Context, context.CancelFunc) {
+	d := s.cfg.DefaultDeadline
+	if deadlineMs > 0 {
+		d = time.Duration(deadlineMs) * time.Millisecond
+	}
+	if s.cfg.MaxDeadline > 0 && (d <= 0 || d > s.cfg.MaxDeadline) {
+		d = s.cfg.MaxDeadline
+	}
+	if d <= 0 {
+		return context.WithCancel(ctx)
+	}
+	return context.WithTimeout(ctx, d)
+}
+
+// classify maps an engine/context failure onto the error taxonomy.
+func classify(err error) *Error {
+	var e *Error
+	if errors.As(err, &e) {
+		return e
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		return &Error{Kind: ErrDeadline, Msg: "deadline expired before the simulation finished; partial work cancelled"}
+	}
+	if errors.Is(err, context.Canceled) {
+		return &Error{Kind: ErrCanceled, Msg: "request cancelled"}
+	}
+	var se *ooo.SimError
+	if errors.As(err, &se) {
+		return &Error{Kind: ErrEngine, Msg: err.Error(), Engine: se.JSON()}
+	}
+	return &Error{Kind: ErrInternal, Msg: err.Error()}
+}
+
+// resolveRun turns a RunRequest into a fully resolved (name, config,
+// budget) triple, validating every axis against the registered
+// workloads and the paper's fusion modes.
+func (s *Server) resolveRun(req *RunRequest) (name string, cfg ooo.Config, budget uint64, custom bool, e *Error) {
+	wl, ok := workloads.ByName(req.Workload)
+	if !ok {
+		return "", cfg, 0, false, &Error{Kind: ErrBadRequest,
+			Msg: fmt.Sprintf("unknown workload %q (GET /v1/workloads lists them)", req.Workload)}
+	}
+	budget = req.Insts
+	if budget == 0 {
+		budget = s.cfg.DefaultInsts
+	}
+	if budget == 0 {
+		budget = wl.MaxInsts
+	}
+	if req.Config != nil {
+		if req.Mode != "" && req.Mode != req.Config.Mode.String() {
+			return "", cfg, 0, false, &Error{Kind: ErrBadRequest,
+				Msg: fmt.Sprintf("mode %q conflicts with config.Mode %q", req.Mode, req.Config.Mode)}
+		}
+		return wl.Name, *req.Config, budget, true, nil
+	}
+	modeName := req.Mode
+	if modeName == "" {
+		modeName = fusion.ModeHelios.String()
+	}
+	mode, ok := fusion.ModeByName(modeName)
+	if !ok {
+		return "", cfg, 0, false, &Error{Kind: ErrBadRequest,
+			Msg: fmt.Sprintf("unknown fusion mode %q (want one of %v)", modeName, fusion.Modes)}
+	}
+	return wl.Name, ooo.DefaultConfig(mode), budget, false, nil
+}
+
+func (s *Server) handleRun(ctx0 context.Context, r *http.Request) (any, *Error) {
+	var req RunRequest
+	if e := decodeJSON(r, &req); e != nil {
+		return nil, e
+	}
+	name, cfg, budget, custom, e := s.resolveRun(&req)
+	if e != nil {
+		return nil, e
+	}
+	key, err := resultKey(name, cfg, budget, core.EngineVersion())
+	if err != nil {
+		return nil, classify(err)
+	}
+	ctx, cancel := s.reqCtx(ctx0, req.DeadlineMs)
+	defer cancel()
+
+	batchSize := 0
+	res, cached, coalesced, err := s.cache.do(ctx, key, func() (*core.Result, error) {
+		rr, n, rerr := s.batch.submit(ctx, name, budget, cfg, custom)
+		batchSize = n
+		return rr, rerr
+	})
+	if err != nil {
+		return nil, classify(err)
+	}
+	if s.cfg.ManifestDir != "" && !cached {
+		s.writeManifest(key, name, cfg, res)
+	}
+	return &RunResponse{
+		Key:       key,
+		Workload:  name,
+		Mode:      cfg.Mode.String(),
+		Insts:     budget,
+		Engine:    core.EngineVersion(),
+		Cached:    cached,
+		Coalesced: coalesced,
+		BatchSize: batchSize,
+		IPC:       res.Stats.IPC(),
+		Stats:     res.Stats,
+	}, nil
+}
+
+// writeManifest records one completed run in the manifest directory.
+// Manifest failures are telemetry, not request failures: the result is
+// already computed and correct.
+func (s *Server) writeManifest(key, name string, cfg ooo.Config, res *core.Result) {
+	m := report.NewManifest(name, cfg.Mode, cfg, res.Stats)
+	path := filepath.Join(s.cfg.ManifestDir, fmt.Sprintf("%s-%s-%s.json", name, cfg.Mode, key[:12]))
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := m.WriteFile(path); err != nil {
+		s.c.ManifestErrors++
+		s.logf("serve: manifest %s: %v", path, err)
+		return
+	}
+	s.c.ManifestsWritten++
+}
+
+// resolveMatrix validates a workload×mode matrix and returns the
+// scheduler cells in request order.
+func (s *Server) resolveMatrix(names, modeNames []string, budget uint64) ([]core.Cell, *Error) {
+	if len(names) == 0 {
+		return nil, &Error{Kind: ErrBadRequest, Msg: "workloads list is empty"}
+	}
+	var modes []fusion.Mode
+	if len(modeNames) == 0 {
+		modes = fusion.Modes
+	} else {
+		for _, mn := range modeNames {
+			m, ok := fusion.ModeByName(mn)
+			if !ok {
+				return nil, &Error{Kind: ErrBadRequest,
+					Msg: fmt.Sprintf("unknown fusion mode %q (want one of %v)", mn, fusion.Modes)}
+			}
+			modes = append(modes, m)
+		}
+	}
+	cells := make([]core.Cell, 0, len(names)*len(modes))
+	for _, n := range names {
+		if _, ok := workloads.ByName(n); !ok {
+			return nil, &Error{Kind: ErrBadRequest,
+				Msg: fmt.Sprintf("unknown workload %q (GET /v1/workloads lists them)", n)}
+		}
+		for _, m := range modes {
+			cells = append(cells, core.Cell{Workload: n, Mode: m, Budget: budget})
+		}
+	}
+	return cells, nil
+}
+
+func (s *Server) handleSuite(ctx0 context.Context, r *http.Request) (any, *Error) {
+	var req SuiteRequest
+	if e := decodeJSON(r, &req); e != nil {
+		return nil, e
+	}
+	cells, e := s.resolveMatrix(req.Workloads, req.Modes, req.Insts)
+	if e != nil {
+		return nil, e
+	}
+	ctx, cancel := s.reqCtx(ctx0, req.DeadlineMs)
+	defer cancel()
+
+	out := s.suite.RunCells(ctx, cells, s.cfg.SuiteWorkers)
+	resp := &SuiteResponse{Engine: core.EngineVersion(), Budget: req.Insts}
+	for _, cr := range out {
+		cell := SuiteCell{Workload: cr.Cell.Workload, Mode: cr.Cell.Mode.String()}
+		if cr.Err != nil {
+			cell.Error = classify(cr.Err)
+		} else {
+			cell.IPC = cr.Result.Stats.IPC()
+			cell.Cycles = cr.Result.Stats.Cycles
+			cell.Insts = cr.Result.Stats.CommittedInsts
+		}
+		resp.Cells = append(resp.Cells, cell)
+	}
+	return resp, nil
+}
+
+func (s *Server) handleDiff(ctx0 context.Context, r *http.Request) (any, *Error) {
+	var req DiffRequest
+	if e := decodeJSON(r, &req); e != nil {
+		return nil, e
+	}
+	base, ok := fusion.ModeByName(req.BaselineMode)
+	if !ok {
+		return nil, &Error{Kind: ErrBadRequest,
+			Msg: fmt.Sprintf("unknown baseline mode %q", req.BaselineMode)}
+	}
+	target, ok := fusion.ModeByName(req.TargetMode)
+	if !ok {
+		return nil, &Error{Kind: ErrBadRequest,
+			Msg: fmt.Sprintf("unknown target mode %q", req.TargetMode)}
+	}
+	cells, e := s.resolveMatrix(req.Workloads, []string{base.String(), target.String()}, req.Insts)
+	if e != nil {
+		return nil, e
+	}
+	ctx, cancel := s.reqCtx(ctx0, req.DeadlineMs)
+	defer cancel()
+
+	out := s.suite.RunCells(ctx, cells, s.cfg.SuiteWorkers)
+	var baseMs, targetMs []*report.Manifest
+	for _, cr := range out {
+		if cr.Err != nil {
+			return nil, classify(cr.Err) // a diff over partial results would be quietly wrong
+		}
+		m := report.NewManifest(cr.Cell.Workload, cr.Cell.Mode,
+			ooo.DefaultConfig(cr.Cell.Mode), cr.Result.Stats)
+		if cr.Cell.Mode == base {
+			baseMs = append(baseMs, m)
+		} else {
+			targetMs = append(targetMs, m)
+		}
+	}
+	d := report.NewDiff(base.String(), baseMs, target.String(), targetMs)
+	md, err := d.Markdown()
+	if err != nil {
+		return nil, classify(err)
+	}
+	return &DiffResponse{Engine: core.EngineVersion(), Markdown: md, CSV: d.CSV()}, nil
+}
+
+func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
+	type row struct {
+		Name     string `json:"name"`
+		Insts    uint64 `json:"insts"`
+		PaperRef string `json:"paper_ref"`
+	}
+	var rows []row
+	for _, wl := range workloads.All() {
+		rows = append(rows, row{wl.Name, wl.MaxInsts, wl.PaperRef})
+	}
+	writeJSON(w, http.StatusOK, rows)
+}
+
+// health is the body shared by /healthz and /readyz: queue and cache
+// state at a glance.
+type health struct {
+	Status        string `json:"status"`
+	Engine        string `json:"engine"`
+	Draining      bool   `json:"draining"`
+	Inflight      int    `json:"inflight"`
+	QueueDepth    int    `json:"queue_depth"`
+	CacheEntries  int    `json:"cache_entries"`
+	LiveFallbacks uint64 `json:"live_fallbacks"`
+}
+
+func (s *Server) healthSnapshot() health {
+	entries, _, _, _ := s.cache.stats()
+	lf := s.suite.Metrics().LiveFallbacks
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return health{
+		Status:        "ok",
+		Engine:        core.EngineVersion(),
+		Draining:      s.draining,
+		Inflight:      s.inflight,
+		QueueDepth:    s.cfg.QueueDepth,
+		CacheEntries:  entries,
+		LiveFallbacks: lf,
+	}
+}
+
+// handleHealthz is liveness: the process is up and the mux responds.
+// Always 200 — a draining server is still alive.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.healthSnapshot())
+}
+
+// handleReadyz is readiness: 503 while draining or while the admission
+// queue is saturated, so load balancers steer traffic away before
+// requests start bouncing off the queue.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	h := s.healthSnapshot()
+	status := http.StatusOK
+	switch {
+	case h.Draining:
+		h.Status = "draining"
+		status = http.StatusServiceUnavailable
+	case h.Inflight >= h.QueueDepth:
+		h.Status = "saturated"
+		status = http.StatusServiceUnavailable
+	default:
+		h.Status = "ready"
+	}
+	writeJSON(w, status, h)
+}
+
+func (s *Server) handleMetricz(w http.ResponseWriter, r *http.Request) {
+	entries, hits, misses, coalesced := s.cache.stats()
+	batches, batched, maxBatch := s.batch.stats()
+	sm := s.suite.Metrics()
+	s.mu.Lock()
+	lat := s.latency
+	payload := struct {
+		Engine      string   `json:"engine"`
+		Draining    bool     `json:"draining"`
+		Inflight    int      `json:"inflight"`
+		MaxInflight int      `json:"max_inflight"`
+		QueueDepth  int      `json:"queue_depth"`
+		Server      Counters `json:"server"`
+		Cache       struct {
+			Entries   int    `json:"entries"`
+			Hits      uint64 `json:"hits"`
+			Misses    uint64 `json:"misses"`
+			Coalesced uint64 `json:"coalesced"`
+		} `json:"cache"`
+		Batch struct {
+			Batches  uint64 `json:"batches"`
+			Requests uint64 `json:"requests"`
+			MaxBatch uint64 `json:"max_batch"`
+		} `json:"batch"`
+		Suite struct {
+			TraceMisses   uint64 `json:"trace_misses"`
+			TraceHits     uint64 `json:"trace_hits"`
+			Replays       uint64 `json:"replays"`
+			PipelineRuns  uint64 `json:"pipeline_runs"`
+			DedupedRuns   uint64 `json:"deduped_runs"`
+			LiveFallbacks uint64 `json:"live_fallbacks"`
+		} `json:"suite"`
+		LatencyUs struct {
+			Count uint64 `json:"count"`
+			Mean  uint64 `json:"mean"`
+			P50   uint64 `json:"p50"`
+			P95   uint64 `json:"p95"`
+			P99   uint64 `json:"p99"`
+		} `json:"latency_us"`
+	}{
+		Engine:      core.EngineVersion(),
+		Draining:    s.draining,
+		Inflight:    s.inflight,
+		MaxInflight: s.maxInflight,
+		QueueDepth:  s.cfg.QueueDepth,
+		Server:      s.c,
+	}
+	s.mu.Unlock()
+	payload.Cache.Entries = entries
+	payload.Cache.Hits = hits
+	payload.Cache.Misses = misses
+	payload.Cache.Coalesced = coalesced
+	payload.Batch.Batches = batches
+	payload.Batch.Requests = batched
+	payload.Batch.MaxBatch = maxBatch
+	payload.Suite.TraceMisses = sm.TraceMisses
+	payload.Suite.TraceHits = sm.TraceHits
+	payload.Suite.Replays = sm.Replays
+	payload.Suite.PipelineRuns = sm.PipelineRuns
+	payload.Suite.DedupedRuns = sm.DedupedRuns
+	payload.Suite.LiveFallbacks = sm.LiveFallbacks
+	payload.LatencyUs.Count = lat.Count
+	payload.LatencyUs.Mean = lat.Mean()
+	payload.LatencyUs.P50 = lat.Percentile(50)
+	payload.LatencyUs.P95 = lat.Percentile(95)
+	payload.LatencyUs.P99 = lat.Percentile(99)
+	writeJSON(w, http.StatusOK, payload)
+}
+
+// decodeJSON parses a request body strictly: unknown fields, trailing
+// garbage and oversized bodies are typed errors.
+func decodeJSON(r *http.Request, v any) *Error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return &Error{Kind: ErrOversized,
+				Msg: fmt.Sprintf("request body exceeds %d bytes", mbe.Limit)}
+		}
+		return &Error{Kind: ErrBadRequest, Msg: "malformed request: " + err.Error()}
+	}
+	if dec.More() {
+		return &Error{Kind: ErrBadRequest, Msg: "trailing data after JSON body"}
+	}
+	return nil
+}
+
+// writeJSON marshals first and writes once, so a marshal failure can
+// still produce a well-formed error response.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		writeError(w, &Error{Kind: ErrInternal, Msg: "encode response: " + err.Error()})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(append(b, '\n'))
+}
+
+// writeError renders a typed error with its HTTP mapping and, for
+// retryable kinds, the standard Retry-After header (whole seconds,
+// rounded up) alongside the precise retry_after_ms in the body.
+func writeError(w http.ResponseWriter, e *Error) {
+	w.Header().Set("Content-Type", "application/json")
+	if e.RetryAfterMs > 0 {
+		secs := (e.RetryAfterMs + 999) / 1000
+		w.Header().Set("Retry-After", fmt.Sprint(secs))
+	}
+	w.WriteHeader(e.HTTPStatus())
+	b, err := json.Marshal(e)
+	if err != nil { // Error is plain data; cannot happen
+		fmt.Fprintf(w, `{"kind":%q,"msg":"error encoding failed"}`, e.Kind)
+		return
+	}
+	w.Write(append(b, '\n'))
+}
