@@ -62,6 +62,7 @@ func main() {
 	flag.Parse()
 
 	if *pprofAddr != "" {
+		//helios:goroutinelife-ok process-lifetime pprof listener; dies with the process
 		go func() {
 			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
 				fmt.Fprintf(os.Stderr, "pprof server: %v\n", err)
@@ -291,7 +292,7 @@ func runCompare(ctx context.Context, name string, rec *trace.Recording, workers 
 			defer wg.Done()
 			for {
 				i := int(cursor.Add(1))
-				if i >= len(fusion.Modes) {
+				if i >= len(fusion.Modes) || ctx.Err() != nil {
 					return
 				}
 				m := fusion.Modes[i]

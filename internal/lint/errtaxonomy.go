@@ -1,0 +1,146 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrTaxonomy keeps the service's error surface machine-readable: every
+// non-200 body heliosd writes is a typed *serve.Error with a Kind from
+// the taxonomy (DESIGN.md §14), so clients branch on kinds, never on
+// message text. A naked fmt.Errorf or errors.New constructed in the
+// handler layer has no Kind — whatever message it carries either leaks
+// to a response verbatim or gets mis-classified as internal — so inside
+// the HTTP layer it is a finding.
+//
+// Mechanically: the analyzer roots at every function that takes an
+// http.ResponseWriter or *http.Request parameter (matched by type name,
+// so the rule also covers future handlers and testdata doubles), walks
+// the call graph through same-package callees only, and flags each
+// fmt.Errorf / errors.New / http.Error call in that closure. The
+// package boundary is deliberate: deeper layers (core, ooo) return
+// ordinary errors, and the serve layer's classify() converts them to
+// taxonomy kinds at the boundary — that conversion point is exactly
+// what this analyzer protects.
+//
+// Escape hatch: //helios:errtaxonomy-ok <reason> on the call line, or
+// on a function's doc comment to waive the function and everything only
+// reachable through it.
+var ErrTaxonomy = &Analyzer{
+	Name: "errtaxonomy",
+	Doc: "HTTP handlers and their same-package callees must surface only " +
+		"the typed error taxonomy; naked fmt.Errorf/errors.New/http.Error " +
+		"in the handler layer is a finding",
+	Run: runErrTaxonomy,
+}
+
+func runErrTaxonomy(p *Pass) error {
+	g := p.Mod.Graph()
+	var roots []*FuncNode
+	for _, n := range g.Nodes() {
+		if n.Pkg.Types != p.Pkg || n.Decl.Type.Params == nil {
+			continue
+		}
+		if p.isTestFile(n.Decl.Pos()) {
+			continue
+		}
+		if funcTakesHTTPParam(n.Pkg.TypesInfo, n.Decl) {
+			roots = append(roots, n)
+		}
+	}
+	if len(roots) == 0 {
+		return nil
+	}
+	for _, node := range reachableInPackage(g, roots, "errtaxonomy-ok") {
+		if node.Decl.Body == nil {
+			continue
+		}
+		info := node.Pkg.TypesInfo
+		ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := resolveCallee(info, call)
+			if callee == nil || callee.Pkg() == nil {
+				return true
+			}
+			var what string
+			switch {
+			case callee.Pkg().Path() == "fmt" && callee.Name() == "Errorf":
+				what = "fmt.Errorf"
+			case callee.Pkg().Path() == "errors" && callee.Name() == "New":
+				what = "errors.New"
+			case callee.Pkg().Path() == "net/http" && callee.Name() == "Error":
+				what = "http.Error"
+			default:
+				return true
+			}
+			if p.Annotated(call.Pos(), "errtaxonomy-ok") {
+				return true
+			}
+			p.Reportf(call.Pos(), "%s in the HTTP handler layer (via %s) bypasses the typed error taxonomy: construct a kinded error instead (or annotate //helios:errtaxonomy-ok <reason> if it never reaches a response)", what, node.Name())
+			return true
+		})
+	}
+	return nil
+}
+
+// funcTakesHTTPParam reports whether any parameter's (possibly
+// pointer-stripped) named type is called ResponseWriter or Request —
+// the shape shared by http.HandlerFunc handlers and the api()-wrapped
+// typed handlers.
+func funcTakesHTTPParam(info *types.Info, fd *ast.FuncDecl) bool {
+	for _, field := range fd.Type.Params.List {
+		tv, ok := info.Types[field.Type]
+		if !ok {
+			continue
+		}
+		t := tv.Type
+		if ptr, isPtr := t.(*types.Pointer); isPtr {
+			t = ptr.Elem()
+		}
+		named, isNamed := t.(*types.Named)
+		if !isNamed {
+			continue
+		}
+		switch named.Obj().Name() {
+		case "ResponseWriter", "Request":
+			return true
+		}
+	}
+	return false
+}
+
+// reachableInPackage is Reachable restricted to the roots' packages:
+// an edge into another package is not followed (that package has its
+// own error discipline and its own conversion boundary).
+func reachableInPackage(g *CallGraph, roots []*FuncNode, waiveKey string) []*FuncNode {
+	var (
+		order   []*FuncNode
+		visited = make(map[*FuncNode]bool)
+		queue   []*FuncNode
+	)
+	for _, r := range roots {
+		if !visited[r] && !g.FuncWaived(r, waiveKey) {
+			visited[r] = true
+			queue = append(queue, r)
+		}
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		order = append(order, n)
+		for _, c := range n.Callees {
+			if visited[c] || c.Pkg != n.Pkg {
+				continue
+			}
+			if waiveKey != "" && g.FuncWaived(c, waiveKey) {
+				continue
+			}
+			visited[c] = true
+			queue = append(queue, c)
+		}
+	}
+	return order
+}

@@ -1,0 +1,59 @@
+package lint
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// JSONSchema is the version tag of heliosvet's machine-readable output.
+// The schema only ever grows: existing fields keep their names, types
+// and order (Go's encoding/json emits struct fields in declaration
+// order, so the layout below IS the wire order), and new fields append.
+const JSONSchema = "helios/vet/v1"
+
+// JSONReport is the envelope heliosvet -json writes: one document per
+// run, findings sorted by (file, line, column, analyzer) — the same
+// deterministic order the text output uses.
+type JSONReport struct {
+	Schema   string        `json:"schema"`
+	Findings []JSONFinding `json:"findings"`
+	Count    int           `json:"count"`
+}
+
+// JSONFinding is one diagnostic. File is relative to the working
+// directory heliosvet ran in (absolute when outside it), matching the
+// text and -github outputs.
+type JSONFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// WriteJSON renders the diagnostics as a schema-versioned JSON document.
+// rel maps a diagnostic's absolute filename to the reported path; nil
+// keeps filenames as-is. Findings is always an array (never null), so
+// `jq .findings[]` works on clean runs too.
+func WriteJSON(w io.Writer, diags []Diagnostic, rel func(string) string) error {
+	if rel == nil {
+		rel = func(s string) string { return s }
+	}
+	rep := JSONReport{
+		Schema:   JSONSchema,
+		Findings: make([]JSONFinding, 0, len(diags)),
+		Count:    len(diags),
+	}
+	for _, d := range diags {
+		rep.Findings = append(rep.Findings, JSONFinding{
+			File:     rel(d.Pos.Filename),
+			Line:     d.Pos.Line,
+			Column:   d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(&rep)
+}

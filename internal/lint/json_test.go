@@ -1,0 +1,87 @@
+package lint_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"strings"
+	"testing"
+
+	"helios/internal/lint"
+)
+
+// TestWriteJSONGolden pins the -json wire format byte for byte: the
+// schema tag, the field order (declaration order in JSONReport /
+// JSONFinding — encoding/json preserves it), the two-space indent and
+// the trailing newline. Downstream tooling parses this; any change must
+// bump the schema version, and this test is where the change surfaces.
+func TestWriteJSONGolden(t *testing.T) {
+	diags := []lint.Diagnostic{
+		{
+			Pos:      token.Position{Filename: "/work/internal/ooo/commit.go", Line: 99, Column: 11},
+			Analyzer: "hotalloc",
+			Message:  "append may grow its backing array",
+		},
+		{
+			Pos:      token.Position{Filename: "/work/internal/serve/api.go", Line: 194, Column: 14},
+			Analyzer: "errtaxonomy",
+			Message:  "fmt.Errorf in the HTTP handler layer",
+		},
+	}
+	rel := func(p string) string { return strings.TrimPrefix(p, "/work/") }
+
+	var buf bytes.Buffer
+	if err := lint.WriteJSON(&buf, diags, rel); err != nil {
+		t.Fatal(err)
+	}
+	const golden = `{
+  "schema": "helios/vet/v1",
+  "findings": [
+    {
+      "file": "internal/ooo/commit.go",
+      "line": 99,
+      "column": 11,
+      "analyzer": "hotalloc",
+      "message": "append may grow its backing array"
+    },
+    {
+      "file": "internal/serve/api.go",
+      "line": 194,
+      "column": 14,
+      "analyzer": "errtaxonomy",
+      "message": "fmt.Errorf in the HTTP handler layer"
+    }
+  ],
+  "count": 2
+}
+`
+	if got := buf.String(); got != golden {
+		t.Errorf("JSON output drifted from the %s golden:\n got:\n%s\nwant:\n%s", lint.JSONSchema, got, golden)
+	}
+}
+
+// TestWriteJSONEmpty: a clean run must still emit a findings *array*
+// (never null) so `jq .findings[]` works unconditionally.
+func TestWriteJSONEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := lint.WriteJSON(&buf, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Schema   string            `json:"schema"`
+		Findings []json.RawMessage `json:"findings"`
+		Count    int               `json:"count"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != lint.JSONSchema {
+		t.Errorf("schema = %q, want %q", rep.Schema, lint.JSONSchema)
+	}
+	if rep.Findings == nil || len(rep.Findings) != 0 || rep.Count != 0 {
+		t.Errorf("empty run = %s, want findings: [] and count: 0", buf.String())
+	}
+	if !strings.Contains(buf.String(), `"findings": []`) {
+		t.Errorf("findings must serialize as [] on a clean run, got:\n%s", buf.String())
+	}
+}

@@ -6,11 +6,14 @@
 // standard library's go/ast and go/types, plus the repository-specific
 // annotation escape hatches (//helios:nondeterminism-ok and friends).
 //
-// The analyzers themselves live in sibling files (simdeterminism.go,
-// seededrand.go, statscomplete.go, ctxfirst.go, magiclatency.go,
-// errpolicy.go); Registry returns them all, and cmd/heliosvet is the
-// multichecker driver. See DESIGN.md §10 for the catalog and the
-// conventions each analyzer enforces.
+// The analyzers themselves live in sibling files: the single-package
+// six (simdeterminism.go, seededrand.go, statscomplete.go, ctxfirst.go,
+// magiclatency.go, errpolicy.go) and the call-graph four (hotalloc.go,
+// lockguard.go, goroutinelife.go, errtaxonomy.go) built on the
+// cross-package Module/CallGraph layer in callgraph.go. Registry
+// returns them all, and cmd/heliosvet is the multichecker driver. See
+// DESIGN.md §10 and §15 for the catalog and the conventions each
+// analyzer enforces.
 package lint
 
 import (
@@ -43,13 +46,18 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
 }
 
-// Pass carries one type-checked package through one analyzer.
+// Pass carries one type-checked package through one analyzer. Mod is
+// the module universe the package was loaded in: single-package
+// analyzers ignore it, while the call-graph analyzers (hotalloc,
+// lockguard, goroutinelife, errtaxonomy) traverse Mod.Graph() to follow
+// calls across package boundaries.
 type Pass struct {
 	Analyzer  *Analyzer
 	Fset      *token.FileSet
 	Files     []*ast.File
 	Pkg       *types.Package
 	TypesInfo *types.Info
+	Mod       *Module
 
 	diags       *[]Diagnostic
 	annotations map[string]map[int][]string // filename → line → annotation keys
@@ -199,8 +207,15 @@ func (p *Pass) pkgLevelCallee(call *ast.CallExpr) (*types.Func, bool) {
 }
 
 // Run executes one analyzer over one loaded package and returns its
-// findings sorted by position.
+// findings sorted by position. The package forms a single-package
+// module, so call-graph analyzers see only its own functions — the
+// linttest harness relies on this to keep testdata universes closed.
 func Run(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+	return runIn(a, pkg, NewModule([]*Package{pkg}))
+}
+
+// runIn executes one analyzer over one package inside mod's universe.
+func runIn(a *Analyzer, pkg *Package, mod *Module) ([]Diagnostic, error) {
 	var diags []Diagnostic
 	pass := &Pass{
 		Analyzer:  a,
@@ -208,6 +223,7 @@ func Run(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
 		Files:     pkg.Files,
 		Pkg:       pkg.Types,
 		TypesInfo: pkg.TypesInfo,
+		Mod:       mod,
 		diags:     &diags,
 	}
 	if err := a.Run(pass); err != nil {
@@ -217,16 +233,27 @@ func Run(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
 	return diags, nil
 }
 
-// RunAll executes every analyzer over every package.
+// RunAll executes every analyzer over every package. All packages share
+// one Module, so cross-package analyzers can chase calls from any pass
+// into any other loaded package (reporting at the callee's position).
+// Cross-package findings are deduplicated: two root packages reaching
+// the same offending line produce one diagnostic.
 func RunAll(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
+	mod := NewModule(pkgs)
 	var all []Diagnostic
+	seen := make(map[Diagnostic]bool)
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
-			ds, err := Run(a, pkg)
+			ds, err := runIn(a, pkg, mod)
 			if err != nil {
 				return nil, err
 			}
-			all = append(all, ds...)
+			for _, d := range ds {
+				if !seen[d] {
+					seen[d] = true
+					all = append(all, d)
+				}
+			}
 		}
 	}
 	sortDiagnostics(all)

@@ -43,6 +43,27 @@ func TestErrPolicy(t *testing.T) {
 	linttest.Run(t, lint.ErrPolicy, "testdata/errpolicy")
 }
 
+// The call-graph four (DESIGN.md §15). Each testdata package is a
+// closed single-package universe: linttest wraps it in a one-package
+// Module, so reachability, waivers and guard-set inference all resolve
+// without loading the real repo.
+
+func TestHotAlloc(t *testing.T) {
+	linttest.Run(t, lint.HotAlloc, "testdata/hotalloc")
+}
+
+func TestLockGuard(t *testing.T) {
+	linttest.Run(t, lint.LockGuard, "testdata/lockguard")
+}
+
+func TestGoroutineLife(t *testing.T) {
+	linttest.Run(t, lint.GoroutineLife, "testdata/goroutinelife")
+}
+
+func TestErrTaxonomy(t *testing.T) {
+	linttest.Run(t, lint.ErrTaxonomy, "testdata/errtaxonomy")
+}
+
 // TestRegistryComplete pins the catalog: adding an analyzer without
 // registering it (or registering one twice) is a silent CI hole.
 func TestRegistryComplete(t *testing.T) {
@@ -59,6 +80,7 @@ func TestRegistryComplete(t *testing.T) {
 	for _, want := range []string{
 		"simdeterminism", "seededrand", "statscomplete",
 		"ctxfirst", "magiclatency", "errpolicy",
+		"hotalloc", "lockguard", "goroutinelife", "errtaxonomy",
 	} {
 		if !names[want] {
 			t.Errorf("registry missing analyzer %q", want)

@@ -1,0 +1,130 @@
+package lint_test
+
+import (
+	"go/types"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"helios/internal/lint"
+)
+
+// writeTree lays a synthetic module out on disk: a two-package module
+// where `app` imports both its sibling `util` (exercising the in-module
+// importer) and the standard library's strings (exercising the
+// source-importer fallback, which previously had no coverage).
+func writeTree(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func TestLoadSyntheticModule(t *testing.T) {
+	dir := writeTree(t, map[string]string{
+		"go.mod": "module loadtest\n\ngo 1.22\n",
+		"util/util.go": `package util
+
+// Shout is imported by app, so the loader must check util first.
+func Shout(s string) string { return s + "!" }
+`,
+		"app/app.go": `package app
+
+import (
+	"strings"
+
+	"loadtest/util"
+)
+
+// Banner leans on a stdlib function, forcing the loader's
+// source-importer fallback to type-check strings from GOROOT source.
+func Banner(s string) string { return util.Shout(strings.ToUpper(s)) }
+`,
+	})
+
+	pkgs, err := lint.Load(dir, "./...")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("loaded %d packages, want 2", len(pkgs))
+	}
+	// Dependency-first order: util must be checked before app imports it.
+	if pkgs[0].Path != "loadtest/util" || pkgs[1].Path != "loadtest/app" {
+		t.Fatalf("topo order = [%s %s], want [loadtest/util loadtest/app]", pkgs[0].Path, pkgs[1].Path)
+	}
+	app, util := pkgs[1], pkgs[0]
+
+	// The in-module import must resolve to the very *types.Package the
+	// loader checked — pointer identity is what lets the call graph match
+	// type objects across packages.
+	var sawUtil, sawStrings bool
+	for _, imp := range app.Types.Imports() {
+		switch imp.Path() {
+		case "loadtest/util":
+			sawUtil = true
+			if imp != util.Types {
+				t.Error("app's util import is not the loader-checked *types.Package (identity broken)")
+			}
+		case "strings":
+			sawStrings = true
+			if !imp.Complete() {
+				t.Error("strings was not fully type-checked by the source-importer fallback")
+			}
+		}
+	}
+	if !sawUtil || !sawStrings {
+		t.Fatalf("app imports = %v, want both loadtest/util and strings", app.Types.Imports())
+	}
+
+	// The fallback-resolved object must be a real, typed function.
+	strPkg := func() *types.Package {
+		for _, imp := range app.Types.Imports() {
+			if imp.Path() == "strings" {
+				return imp
+			}
+		}
+		return nil
+	}()
+	fn, ok := strPkg.Scope().Lookup("ToUpper").(*types.Func)
+	if !ok {
+		t.Fatal("strings.ToUpper missing from the fallback-imported package scope")
+	}
+	if fn.Type().(*types.Signature).Results().Len() != 1 {
+		t.Errorf("strings.ToUpper signature = %s, want one result", fn.Type())
+	}
+}
+
+// TestLoadBadPattern: go list failures must surface as errors, not
+// panics or empty loads.
+func TestLoadBadPattern(t *testing.T) {
+	dir := writeTree(t, map[string]string{
+		"go.mod": "module loadtest\n\ngo 1.22\n",
+	})
+	if _, err := lint.Load(dir, "./nosuchpkg"); err == nil {
+		t.Fatal("Load of a nonexistent package pattern succeeded, want error")
+	}
+}
+
+// TestLoadTypeError: a package that does not type-check must fail with
+// a positioned error naming the package.
+func TestLoadTypeError(t *testing.T) {
+	dir := writeTree(t, map[string]string{
+		"go.mod": "module loadtest\n\ngo 1.22\n",
+		"bad/bad.go": `package bad
+
+func Broken() int { return "not an int" }
+`,
+	})
+	if _, err := lint.Load(dir, "./..."); err == nil {
+		t.Fatal("Load of an ill-typed package succeeded, want error")
+	}
+}

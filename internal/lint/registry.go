@@ -1,8 +1,9 @@
 package lint
 
 // Registry returns every analyzer in the suite, in catalog order
-// (DESIGN.md §10). cmd/heliosvet runs them all; individual tests run
-// them one at a time over testdata packages.
+// (DESIGN.md §10 for the single-package six, §15 for the call-graph
+// four). cmd/heliosvet runs them all; individual tests run them one at
+// a time over testdata packages.
 func Registry() []*Analyzer {
 	return []*Analyzer{
 		SimDeterminism,
@@ -11,5 +12,9 @@ func Registry() []*Analyzer {
 		CtxFirst,
 		MagicLatency,
 		ErrPolicy,
+		HotAlloc,
+		LockGuard,
+		GoroutineLife,
+		ErrTaxonomy,
 	}
 }

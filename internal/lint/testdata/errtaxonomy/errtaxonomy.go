@@ -1,0 +1,65 @@
+// Package errtaxx seeds errtaxonomy violations for the golden test.
+// ResponseWriter and Request are local stand-ins for net/http's types:
+// the analyzer roots on parameter type names, so the golden universe
+// stays closed (no net/http source import).
+package errtaxx
+
+import (
+	"errors"
+	"fmt"
+)
+
+type ResponseWriter interface{ Write([]byte) (int, error) }
+
+type Request struct{ Path string }
+
+// apiError is the toy taxonomy: kinded, machine-readable.
+type apiError struct {
+	Kind string
+	Msg  string
+}
+
+func (e *apiError) Error() string { return e.Kind + ": " + e.Msg }
+
+func handleRun(w ResponseWriter, r *Request) {
+	if r.Path == "" {
+		fail(w, errors.New("empty path")) // want "errors.New in the HTTP handler layer"
+		return
+	}
+	if err := validate(r); err != nil {
+		fail(w, err)
+		return
+	}
+	fail(w, &apiError{Kind: "bad-request", Msg: "unrouted"}) // ok: kinded error
+}
+
+// validate has no HTTP parameters itself, but it is reachable from
+// handleRun within the package, so its naked fmt.Errorf is a finding.
+func validate(r *Request) error {
+	if len(r.Path) > 128 {
+		return fmt.Errorf("path too long: %d bytes", len(r.Path)) // want "fmt.Errorf in the HTTP handler layer"
+	}
+	return nil
+}
+
+func fail(w ResponseWriter, err error) {
+	_, _ = w.Write([]byte(err.Error()))
+}
+
+func audit(r *Request) error {
+	//helios:errtaxonomy-ok log-only marker, never written to a response
+	return errors.New("audit: " + r.Path) // ok: annotated with a reason
+}
+
+// debugDump is developer-only plumbing behind a build flag.
+//
+//helios:errtaxonomy-ok debug endpoint, responses never reach clients
+func debugDump(w ResponseWriter, r *Request) {
+	_, _ = w.Write([]byte(fmt.Errorf("dump %s", r.Path).Error())) // ok: function-level waiver
+}
+
+// loadConfig is not reachable from any handler: ordinary error
+// plumbing is fine outside the HTTP layer.
+func loadConfig(path string) error {
+	return fmt.Errorf("config %s missing", path)
+}

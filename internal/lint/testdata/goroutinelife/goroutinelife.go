@@ -1,0 +1,72 @@
+// Package gorx seeds goroutinelife violations for the golden test:
+// goroutines with and without join/cancel primitives, and infinite
+// loops that do and do not check cancellation.
+package gorx
+
+import (
+	"context"
+	"sync"
+)
+
+func work() {}
+
+func fanout(ctx context.Context, wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() { // ok: joinable via WaitGroup
+		defer wg.Done()
+		work()
+	}()
+
+	go func() { // ok: cancellable via ctx
+		<-ctx.Done()
+	}()
+
+	go func() { // want "neither joinable nor cancellable"
+		for i := 0; i < 10; i++ {
+			work()
+		}
+	}()
+
+	go func() { // ok: references ctx, but the loop inside never checks it
+		for { // want "infinite loop in goroutine never checks cancellation"
+			if ctx == nil {
+				return
+			}
+			work()
+		}
+	}()
+
+	go func() { // ok: loop selects on ctx.Done each iteration
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			default:
+			}
+			work()
+		}
+	}()
+
+	go worker(ctx) // ok: named function's body blocks on ctx.Done
+}
+
+func worker(ctx context.Context) {
+	<-ctx.Done()
+}
+
+func pump(ch chan int) {
+	go func() { // ok: draining a channel is a lifecycle (closes end it)
+		for v := range ch {
+			_ = v
+		}
+	}()
+}
+
+func spawn(fn func()) {
+	go fn() // want "cannot be resolved statically"
+}
+
+func fire(fn func()) {
+	//helios:goroutinelife-ok caller joins through the task's own done channel
+	go fn() // ok: annotated with a reason
+}

@@ -1,0 +1,74 @@
+// Package hotx seeds hotalloc violations for the golden test: a toy
+// per-cycle loop marked //helios:hotpath, with every banned construct
+// in its static call closure and compliant neighbours that must stay
+// quiet.
+package hotx
+
+import "fmt"
+
+type ring struct {
+	buf  []int
+	head int
+}
+
+// step is the toy pipeline's per-cycle loop.
+//
+//helios:hotpath toy per-cycle loop; must stay allocation-free
+func step(r *ring, counts map[string]int, fn func()) {
+	r.buf[r.head] = 1 // ok: indexing an existing slice
+	r.head++
+	cur := ring{head: r.head} // ok: value composite literal stays on the stack
+	_ = cur
+
+	r.buf = append(r.buf, 2) // want "append may grow its backing array"
+	//helios:hotalloc-ok ring grows only during warmup
+	r.buf = append(r.buf, 3) // ok: line waived with a reason
+
+	_ = counts["x"]         // want "map access on the hot path"
+	delete(counts, "x")     // want "map delete on the hot path"
+	for k := range counts { // want "map iteration on the hot path"
+		_ = k
+	}
+
+	fn()                // want "indirect call cannot be proven allocation-free"
+	fmt.Println(r.head) // want "fmt.Println formats and allocates"
+
+	helper(r)
+	flush(r)
+}
+
+var prefix = "cycle"
+
+func helper(r *ring) {
+	p := &ring{} // want "composite literal escapes to the heap"
+	_ = p
+	s := []int{1, 2} // want "slice/map literal allocates"
+	_ = s
+	scratch := make([]int, 4) // want "make allocates"
+	_ = scratch
+	name := prefix + "x" // want "string concatenation allocates"
+	_ = name
+	cb := func() {} // want "closure on the hot path allocates its environment"
+	_ = cb
+	var v any = r.head // ok: assignment conversion is not a call site the checker sees
+	_ = v
+	box(r.head)     // want "argument boxes int into interface parameter of box"
+	_ = any(r.head) // want "conversion to interface type any boxes its operand"
+}
+
+func box(v any) { _ = v }
+
+// flush repairs cold state after a misprediction; it is not on the
+// per-cycle path proper, so the whole function is vouched for and the
+// walker stops here.
+//
+//helios:hotalloc-ok cold repair path, amortized over flushes
+func flush(r *ring) {
+	r.buf = append(r.buf, 0) // ok: function-level waiver stops traversal
+}
+
+// coldSetup is not reachable from any hotpath root: it may allocate
+// freely.
+func coldSetup() *ring {
+	return &ring{buf: make([]int, 8)}
+}

@@ -59,6 +59,7 @@ func (a *uopArena) release(u *pUop) {
 		panic("ooo: µ-op released twice")
 	}
 	u.reset()
+	//helios:hotalloc-ok free list refills capacity vacated by alloc; it grows only while the arena itself grows (warmup), then never again
 	a.free = append(a.free, u)
 }
 
@@ -101,11 +102,14 @@ func (w *eventWheel) schedule(u *pUop, at, now uint64) {
 		w.grow(at-now, now)
 	}
 	i := at & w.mask
+	//helios:hotalloc-ok slot slices are drained to [:0] and reused; capacity reaches the per-cycle event peak once, then stays
 	w.slots[i] = append(w.slots[i], eventRef{u: u, gen: u.gen})
 }
 
 // grow rebuilds the wheel with at least horizon+1 slots (next power of
 // two), re-slotting pending events under the new mask.
+//
+//helios:hotalloc-ok geometric growth to the longest latency ever seen, then never again; amortized O(1) per schedule
 func (w *eventWheel) grow(horizon, now uint64) {
 	n := uint64(len(w.slots))
 	for n <= horizon {

@@ -8,6 +8,8 @@ import "helios/internal/uop"
 // guarantees the head can still be unfused or flushed if anything inside
 // the group misbehaves (Section IV-B3). Committing µ-ops train the Helios
 // UCH/FP and update the committed register state used for flush recovery.
+//
+//helios:hotpath commit-side per-cycle loop; must stay allocation-free (DESIGN.md §13)
 func (p *Pipeline) commitStage() {
 	for i := 0; i < p.cfg.CommitWidth; i++ {
 		u := p.rob.front()
@@ -94,6 +96,7 @@ func (p *Pipeline) commitWrites(u *pUop) {
 func (p *Pipeline) releaseLQ(u *pUop) {
 	for i, l := range p.lq {
 		if l == u {
+			//helios:hotalloc-ok in-place compaction into the same backing array; length only shrinks
 			p.lq = append(p.lq[:i], p.lq[i+1:]...)
 			return
 		}
@@ -103,6 +106,7 @@ func (p *Pipeline) releaseLQ(u *pUop) {
 func (p *Pipeline) freePhys(preg int32) {
 	p.regReady[preg] = true
 	p.waiters[preg] = p.waiters[preg][:0]
+	//helios:hotalloc-ok free list is pre-sized to the physical register file; a freed preg always fits the vacated capacity
 	p.freeList = append(p.freeList, preg)
 }
 

@@ -8,11 +8,14 @@ import (
 // issueStage selects ready µ-ops oldest-first and sends them to the
 // execution ports: ALUPorts for ALU/branch/mul/div, LoadPorts for loads
 // (a fused load pair occupies a single port), StorePorts for stores.
+//
+//helios:hotpath issue-side per-cycle loop; must stay allocation-free (DESIGN.md §13)
 func (p *Pipeline) issueStage() {
 	p.resolveStoreAddresses()
 	alu, ld, st := p.cfg.ALUPorts, p.cfg.LoadPorts, p.cfg.StorePorts
 	// Iterate over a snapshot: issuing a µ-op can trigger a flush (fusion
 	// misprediction) that rewrites the IQ underneath us.
+	//helios:hotalloc-ok scratch snapshot reused every cycle; capacity reaches the IQ size once, then stays
 	p.iqScratch = append(p.iqScratch[:0], p.iq...)
 	for _, u := range p.iqScratch {
 		if alu == 0 && ld == 0 && st == 0 {
@@ -277,6 +280,8 @@ func (p *Pipeline) issue(u *pUop) {
 // writebackStage completes µ-ops whose execution latency elapsed: results
 // become visible, dependents wake up, mispredicted branches redirect the
 // frontend, and stores search for memory-order violations.
+//
+//helios:hotpath writeback per-cycle loop; must stay allocation-free (DESIGN.md §13)
 func (p *Pipeline) writebackStage() {
 	evs := p.events.drain(p.cycle)
 	for _, e := range evs {
@@ -410,6 +415,8 @@ func (p *Pipeline) handleFusionMispredict(u *pUop) {
 // port until the fill returns (write-allocate), which is what makes
 // store-streaming code SQ-bound (the paper's 657.xz case). SQ entries are
 // only reclaimed when the drain completes.
+//
+//helios:hotpath store-drain per-cycle loop; must stay allocation-free (DESIGN.md §13)
 func (p *Pipeline) drainStores() {
 	started := 0
 	n := 0

@@ -12,6 +12,8 @@ import (
 // point whose tail nucleus falls inside the flushed region are unfused in
 // place first (repair cases 5-7, Section IV-C), so no architectural work
 // is lost or duplicated.
+//
+//helios:hotalloc-ok flush repair path: runs once per misprediction/violation, not per cycle; its appends and sort are amortized over the flush penalty
 func (p *Pipeline) flushFrom(from uint64) {
 	p.st.Flushes++
 	p.flushedAt = p.cycle

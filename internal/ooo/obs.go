@@ -16,6 +16,8 @@ import (
 // dispatches in the cycle it renames (AQ and ROB insertion are the
 // respective stage exits), so fetch==decode and rename==dispatch in the
 // O3PipeView output; unreached stages stay 0.
+//
+//helios:hotalloc-ok obs-enabled path only, always behind a p.obs nil check; the disabled path is pinned alloc-free by TestCommitObsOffNoAllocs
 func (p *Pipeline) obsEmit(u *pUop, retired bool) {
 	ev := obs.Event{
 		Seq:          u.seq,

@@ -374,6 +374,7 @@ func (p *Pipeline) pruneWindow(committedSeq uint64) {
 	}
 	// Copy down occasionally rather than re-slicing forever.
 	if drop > 4096 {
+		//helios:hotalloc-ok copy-down into the same backing array; length only shrinks
 		p.window = append(p.window[:0], p.window[drop:]...)
 		p.windowBase = keepFrom
 	}

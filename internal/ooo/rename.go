@@ -451,6 +451,7 @@ func (p *Pipeline) unfuseAtRename(head, tail *pUop) {
 func (p *Pipeline) removePendingNCSF(head *pUop) {
 	for i, h := range p.pendingNCSF {
 		if h == head {
+			//helios:hotalloc-ok in-place compaction into the same backing array; length only shrinks
 			p.pendingNCSF = append(p.pendingNCSF[:i], p.pendingNCSF[i+1:]...)
 			return
 		}

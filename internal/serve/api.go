@@ -191,6 +191,7 @@ func resultKey(workload string, cfg ooo.Config, budget uint64, engine string) (s
 		Engine   string     `json:"engine"`
 	}{workload, cfg, budget, engine})
 	if err != nil {
+		//helios:errtaxonomy-ok classified to a kinded ErrInternal at the handleRun boundary, never written raw
 		return "", fmt.Errorf("serve: hash request: %w", err)
 	}
 	sum := sha256.Sum256(b)
