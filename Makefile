@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build lint test race fuzz-short experiments-smoke obs-smoke report-smoke bench-smoke bench-snapshot serve-smoke
+.PHONY: all build lint test race fuzz-short experiments-smoke obs-smoke report-smoke bench-smoke bench-snapshot serve-smoke telemetry-smoke
 
 all: build lint test
 
@@ -52,6 +52,12 @@ bench-snapshot:
 # and assert a clean drain with exit 0.
 serve-smoke:
 	./scripts/heliosd_smoke.sh
+
+# Matches the CI telemetry-smoke job: heliosd with span tracing on, a
+# cached + uncached + observed request mix, Prometheus exposition lint,
+# obs-artifact byte-identity against heliossim, and a Perfetto trace.
+telemetry-smoke:
+	./scripts/telemetry_smoke.sh
 
 # Matches the CI obs-smoke job: one observed run producing a
 # Konata-loadable pipeline trace plus the interval metrics CSV.

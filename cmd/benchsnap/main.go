@@ -48,12 +48,12 @@ type Snapshot struct {
 
 // Bench is one parsed benchmark result line.
 type Bench struct {
-	Pkg        string `json:"pkg"`
-	Name       string `json:"name"`  // without the -N procs suffix
-	Procs      int    `json:"procs"` // the -N suffix (GOMAXPROCS at run time)
-	Iterations int64  `json:"iterations"`
-	NsPerOp    float64 `json:"ns_per_op"`
-	BytesPerOp float64 `json:"bytes_per_op,omitempty"`
+	Pkg         string  `json:"pkg"`
+	Name        string  `json:"name"`  // without the -N procs suffix
+	Procs       int     `json:"procs"` // the -N suffix (GOMAXPROCS at run time)
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
 	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
 	// Metrics holds every custom b.ReportMetric column, keyed by unit
 	// (e.g. "cycles/op", "emulations").

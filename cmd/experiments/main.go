@@ -23,6 +23,7 @@ import (
 	"helios/internal/fusion"
 	"helios/internal/obs"
 	"helios/internal/ooo"
+	"helios/internal/telemetry"
 )
 
 func main() {
@@ -42,6 +43,8 @@ func main() {
 
 		manifestDir  = flag.String("manifest", "", "manifest mode: write one per-run JSON manifest per workload into this directory and exit (input for heliosreport)")
 		manifestMode = flag.String("manifest-mode", "Helios", "fusion configuration for -manifest runs")
+
+		traceOut = flag.String("trace", "", "write a Chrome trace-event JSON scheduler timeline to this file (wall-clock data; quarantined from stdout, loadable in Perfetto)")
 	)
 	flag.Parse()
 
@@ -50,6 +53,31 @@ func main() {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
+	}
+
+	// -trace attaches a telemetry trace to the context so core.RunCells
+	// emits one span per cell on a per-worker lane — with -parallel this
+	// is the scheduler utilization timeline. The Chrome JSON goes to its
+	// own file, never stdout: span times are wall-clock and must stay
+	// out of the deterministic -metrics surface (DESIGN.md §16).
+	var suiteTrace *telemetry.Trace
+	var tracer *telemetry.Tracer
+	if *traceOut != "" {
+		tracer = telemetry.New(telemetry.Options{})
+		suiteTrace = tracer.StartTrace("experiments")
+		ctx = telemetry.WithTrace(ctx, suiteTrace)
+		defer func() {
+			suiteTrace.Finish()
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			if err := telemetry.WriteChromeTrace(f, tracer.Finished()); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
 	}
 
 	h := experiments.New(*insts)
@@ -110,6 +138,12 @@ func main() {
 	}
 
 	if *id != "" {
+		// A traced single-experiment run still warms through the
+		// scheduler so the timeline shows the parallel fan-out; the
+		// figure then reads the warmed cache.
+		if *traceOut != "" {
+			h.Suite.PrefetchN(ctx, h.Workloads, fusion.Modes, *parallel)
+		}
 		emit(*id)
 		finish()
 		return

@@ -9,12 +9,14 @@
 //	heliosctl [-server http://localhost:8080] <command> [flags]
 //
 //	run       -workload crc32 [-mode Helios] [-insts N] [-deadline-ms N]
+//	          [-obs pipeview|events|interval [-obs-interval N] [-obs-out file]]
 //	suite     -workloads crc32,sha [-modes NoFusion,Helios] [-insts N]
 //	diff      -workloads crc32,sha -baseline NoFusion -target Helios [-csv]
 //	workloads
 //	health    [-wait 30s]   poll /healthz until the server answers
 //	ready
-//	metrics
+//	metrics   [-watch 2s [-count N]] [-prom [-lint]]
+//	trace     [-out trace.json]   fetch /tracez (Perfetto-loadable)
 //	raw       -path /v1/run -body '{"workload":"crc32"}' [-expect 200]
 //
 // raw sends an arbitrary body without retries — the smoke harness uses
@@ -23,6 +25,9 @@ package main
 
 import (
 	"bytes"
+	"crypto/sha256"
+	"encoding/base64"
+	"encoding/hex"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -35,6 +40,7 @@ import (
 	"time"
 
 	"helios/internal/serve"
+	"helios/internal/telemetry"
 )
 
 func fatalf(format string, args ...any) {
@@ -71,7 +77,9 @@ func main() {
 	case "ready":
 		emit(c.get("/readyz"))
 	case "metrics":
-		emit(c.getRetry("/metricz"))
+		cmdMetrics(c, args)
+	case "trace":
+		cmdTrace(c, args)
 	case "raw":
 		cmdRaw(c, args)
 	default:
@@ -195,13 +203,128 @@ func cmdRun(c *client, args []string) {
 	mode := fs.String("mode", "", "fusion mode (default: server's)")
 	insts := fs.Uint64("insts", 0, "instruction budget (0 = server default)")
 	deadline := fs.Int64("deadline-ms", 0, "per-request deadline in ms (0 = server default)")
+	obs := fs.String("obs", "", "request an observability artifact: pipeview, events or interval")
+	obsInterval := fs.Uint64("obs-interval", 0, "interval sampler period for -obs interval (0 = server default)")
+	obsOut := fs.String("obs-out", "", "write the artifact payload to this file (with -obs)")
 	fs.Parse(args)
 	if *workload == "" {
 		fatalf("run: -workload is required")
 	}
-	emit(c.post("/v1/run", serve.RunRequest{
+	if *obsOut != "" && *obs == "" {
+		fatalf("run: -obs-out requires -obs")
+	}
+	status, body := c.post("/v1/run", serve.RunRequest{
 		Workload: *workload, Mode: *mode, Insts: *insts, DeadlineMs: *deadline,
-	}))
+		Obs: *obs, ObsInterval: *obsInterval,
+	})
+	if status != 200 || *obs == "" {
+		emit(status, body)
+		return
+	}
+	var rr serve.RunResponse
+	if err := json.Unmarshal(body, &rr); err != nil {
+		fatalf("decode run response: %v", err)
+	}
+	if rr.Artifact == nil {
+		fatalf("run: server returned no artifact for -obs %s", *obs)
+	}
+	if *obsOut != "" {
+		writeArtifact(rr.Artifact, *obsOut)
+		// The payload is on disk; keep stdout to the run summary.
+		rr.Artifact.Data = ""
+	}
+	out, err := json.Marshal(&rr)
+	if err != nil {
+		fatalf("encode run response: %v", err)
+	}
+	emit(status, out)
+}
+
+// writeArtifact materializes an obs artifact locally: inline base64
+// payloads are decoded, file-encoded ones are copied from the
+// server-side path (heliosctl and heliosd share a filesystem in that
+// configuration). The digest is verified either way.
+func writeArtifact(a *serve.Artifact, path string) {
+	var data []byte
+	var err error
+	switch a.Encoding {
+	case "base64":
+		data, err = base64.StdEncoding.DecodeString(a.Data)
+	case "file":
+		data, err = os.ReadFile(a.Path)
+	default:
+		fatalf("unknown artifact encoding %q", a.Encoding)
+	}
+	if err != nil {
+		fatalf("read artifact: %v", err)
+	}
+	sum := sha256.Sum256(data)
+	if got := hex.EncodeToString(sum[:]); got != a.SHA256 {
+		fatalf("artifact digest mismatch: got %s, server says %s", got, a.SHA256)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fatalf("write artifact: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "heliosctl: wrote %d-byte %s artifact to %s (sha256 verified)\n",
+		len(data), a.Kind, path)
+}
+
+// cmdMetrics fetches /metricz once or in -watch mode, in JSON or
+// Prometheus form; -lint runs the repo's exposition linter over the
+// Prometheus output and fails on the first violation (the CI smoke
+// job's promtool stand-in).
+func cmdMetrics(c *client, args []string) {
+	fs := flag.NewFlagSet("metrics", flag.ExitOnError)
+	watch := fs.Duration("watch", 0, "poll /metricz at this interval (0 = fetch once)")
+	count := fs.Int("count", 0, "with -watch: stop after this many samples (0 = until interrupted)")
+	prom := fs.Bool("prom", false, "fetch the Prometheus text exposition instead of JSON")
+	lint := fs.Bool("lint", false, "with -prom: lint the exposition, fail on violations")
+	fs.Parse(args)
+	if *lint && !*prom {
+		fatalf("metrics: -lint requires -prom")
+	}
+	path := "/metricz?format=json"
+	if *prom {
+		path = "/metricz?format=prometheus"
+	}
+	sample := func() {
+		status, body := c.getRetry(path)
+		if *lint && status == 200 {
+			if err := telemetry.LintExposition(bytes.NewReader(body)); err != nil {
+				fatalf("metrics: exposition lint: %v", err)
+			}
+			fmt.Fprintln(os.Stderr, "heliosctl: exposition lint clean")
+		}
+		emit(status, body)
+	}
+	if *watch <= 0 {
+		sample()
+		return
+	}
+	for n := 0; *count == 0 || n < *count; n++ {
+		if n > 0 {
+			time.Sleep(*watch)
+			fmt.Println()
+		}
+		sample()
+	}
+}
+
+// cmdTrace fetches the server's retained span traces (GET /tracez) as
+// Chrome trace-event JSON, to stdout or a file for Perfetto.
+func cmdTrace(c *client, args []string) {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	out := fs.String("out", "", "write the trace JSON to this file (default: stdout)")
+	fs.Parse(args)
+	status, body := c.getRetry("/tracez")
+	if status != 200 || *out == "" {
+		emit(status, body)
+		return
+	}
+	if err := os.WriteFile(*out, body, 0o644); err != nil {
+		fatalf("write trace: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "heliosctl: wrote %d-byte trace to %s (open in Perfetto)\n", len(body), *out)
 }
 
 func cmdSuite(c *client, args []string) {

@@ -13,11 +13,11 @@
 //
 // Endpoints:
 //
-//	POST /v1/run        one workload×config simulation
+//	POST /v1/run        one workload×config simulation (obs field → artifact)
 //	POST /v1/suite      a workload×mode matrix
 //	POST /v1/diff       a rendered differential report
 //	GET  /v1/workloads  the registered workload catalogue
-//	GET  /healthz /readyz /metricz
+//	GET  /healthz /readyz /metricz (JSON or Prometheus) /tracez
 //
 // On SIGTERM/SIGINT the server stops admitting work (503 draining),
 // finishes every in-flight request within -drain, flushes manifests,
@@ -54,9 +54,15 @@ func main() {
 		workers     = flag.Int("workers", 0, "suite-endpoint scheduler workers (0 = GOMAXPROCS)")
 		manifestDir = flag.String("manifest-dir", "", "write a JSON manifest per completed run into this directory")
 		retryAfter  = flag.Duration("retry-after", def.RetryAfter, "backoff hint attached to overload/draining rejections")
+
+		telemetry   = flag.Bool("telemetry", true, "per-request span tracing (GET /tracez, span histograms on /metricz); off, every hook is a zero-allocation no-op")
+		traceRing   = flag.Int("trace-ring", 0, "finished traces retained for GET /tracez (0 = default)")
+		traceDir    = flag.String("trace-dir", "", "write one Chrome trace-event JSON file per finished request into this directory")
+		artifactDir = flag.String("artifact-dir", "", "write /v1/run obs artifacts as files here instead of inline base64")
+		spanLog     = flag.String("span-log", "", "append the NDJSON span stream to this file")
 	)
 	flag.Parse()
-	if err := run(*addr, *drain, serve.Config{
+	cfg := serve.Config{
 		QueueDepth:      *queue,
 		DefaultDeadline: *deadline,
 		MaxDeadline:     *maxDeadline,
@@ -67,8 +73,22 @@ func main() {
 		DefaultInsts:    *insts,
 		SuiteWorkers:    *workers,
 		ManifestDir:     *manifestDir,
+		Telemetry:       *telemetry,
+		TraceRing:       *traceRing,
+		TraceDir:        *traceDir,
+		ArtifactDir:     *artifactDir,
 		Logf:            logf,
-	}); err != nil {
+	}
+	if *spanLog != "" {
+		f, err := os.OpenFile(*spanLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "heliosd: span log:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		cfg.SpanLog = f
+	}
+	if err := run(*addr, *drain, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "heliosd:", err)
 		os.Exit(1)
 	}
@@ -80,9 +100,16 @@ func logf(format string, args ...any) {
 }
 
 func run(addr string, drainBudget time.Duration, cfg serve.Config) error {
-	if cfg.ManifestDir != "" {
-		if err := os.MkdirAll(cfg.ManifestDir, 0o755); err != nil {
-			return fmt.Errorf("manifest dir: %w", err)
+	for _, d := range []struct{ name, path string }{
+		{"manifest dir", cfg.ManifestDir},
+		{"trace dir", cfg.TraceDir},
+		{"artifact dir", cfg.ArtifactDir},
+	} {
+		if d.path == "" {
+			continue
+		}
+		if err := os.MkdirAll(d.path, 0o755); err != nil {
+			return fmt.Errorf("%s: %w", d.name, err)
 		}
 	}
 

@@ -76,6 +76,27 @@ func ServiceCampaign(ctx context.Context, clients, perClient int, timeout time.D
 	return rep
 }
 
+// AuditedServiceCampaign is ServiceCampaign plus a post-campaign audit
+// hook: after every client finishes, `audit` inspects whatever
+// cross-request invariants the caller cares about and returns one error
+// per violation, each folded into Report.Violations. heliosd's soak
+// audits the telemetry span-balance contract this way — every span
+// started during the campaign (including under panic, deadline and
+// drain paths) must have ended exactly once by the time the audit runs.
+func AuditedServiceCampaign(ctx context.Context, clients, perClient int, timeout time.Duration,
+	do func(ctx context.Context, client, seq int) (ServiceVerdict, string),
+	audit func() []error) Report {
+	rep := ServiceCampaign(ctx, clients, perClient, timeout, do)
+	if audit != nil {
+		for _, err := range audit() {
+			if err != nil {
+				rep.violation("post-campaign audit: %v", err)
+			}
+		}
+	}
+	return rep
+}
+
 // watchdogCall runs one `do` invocation under a panic recovery and a
 // hang watchdog. On timeout the request goroutine is abandoned (its
 // context is cancelled, and its eventual result is discarded) — exactly

@@ -433,16 +433,27 @@ func (s *Suite) replay(ctx context.Context, name string, cfg ooo.Config, rec *tr
 // determinism guarantees the observed run retires the same stream as
 // the cached Get result for the same key.
 func (s *Suite) ObserveReplay(ctx context.Context, name string, mode fusion.Mode, ob *obs.Observer) (*Result, error) {
+	return s.ObserveReplayConfig(ctx, name, ooo.DefaultConfig(mode), 0, ob)
+}
+
+// ObserveReplayConfig is ObserveReplay with an explicit pipeline config
+// and instruction budget (0 = the suite's budget) — the form heliosd's
+// `/v1/run` obs artifacts route through, so a request carrying a custom
+// config still gets its pipeview/events/interval streams from the same
+// record-once trace as the cached result for that key. cfg.Obs is
+// overwritten with ob; everything else is the caller's.
+func (s *Suite) ObserveReplayConfig(ctx context.Context, name string, cfg ooo.Config, budget uint64, ob *obs.Observer) (*Result, error) {
 	w, ok := workloads.ByName(name)
 	if !ok {
 		return nil, fmt.Errorf("core: unknown workload %q", name)
 	}
-	budget := s.budget(w)
+	if budget == 0 {
+		budget = s.budget(w)
+	}
 	rec, err := s.recording(ctx, w, budget)
 	if err != nil {
 		return nil, err
 	}
-	cfg := ooo.DefaultConfig(mode)
 	cfg.Obs = ob
 	start := time.Now() //helios:nondeterminism-ok wall-time metrics only; simulated results never read it
 	r, err := RunSource(ctx, name, cfg, rec.Replay(), budget)
@@ -455,7 +466,7 @@ func (s *Suite) ObserveReplay(ctx context.Context, name string, mode fusion.Mode
 		return r, err
 	}
 	if oerr := ob.Err(); oerr != nil {
-		return r, fmt.Errorf("core: %s/%v: observer: %w", name, mode, oerr)
+		return r, fmt.Errorf("core: %s/%v: observer: %w", name, cfg.Mode, oerr)
 	}
 	return r, nil
 }

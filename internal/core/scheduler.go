@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"helios/internal/fusion"
+	"helios/internal/telemetry"
 )
 
 // Cell is one workload×mode unit of suite work: the granularity at which
@@ -62,12 +63,20 @@ func (s *Suite) RunCells(ctx context.Context, cells []Cell, workers int) []CellR
 	out := make([]CellResult, len(cells))
 	start := time.Now() //helios:nondeterminism-ok wall-time metrics only; simulated results never read it
 
+	// When the caller's context carries a telemetry trace (heliosd suite
+	// requests, `experiments -trace`), every cell opens a span on lane
+	// 1+worker — the per-worker lanes render as a scheduler utilization
+	// timeline in Perfetto. With no trace attached tr is nil and every
+	// span call is a zero-allocation no-op, preserving the scheduler's
+	// hot-path budget. Span wall times live outside the deterministic
+	// Metrics surface (DESIGN.md §16's quarantine rule).
+	tr := telemetry.FromContext(ctx)
 	var cursor atomic.Int64
 	cursor.Store(-1)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for {
 				i := int(cursor.Add(1))
@@ -79,11 +88,16 @@ func (s *Suite) RunCells(ctx context.Context, cells []Cell, workers int) []CellR
 					out[i] = CellResult{Cell: c, Err: err}
 					continue
 				}
+				sp := tr.StartLane("cell", 1+worker)
+				sp.SetAttr("workload", c.Workload)
+				sp.SetAttr("mode", c.Mode.String())
 				t0 := time.Now() //helios:nondeterminism-ok wall-time metrics only; simulated results never read it
 				r, err := s.GetBudget(ctx, c.Workload, c.Mode, c.Budget)
 				out[i] = CellResult{Cell: c, Result: r, Err: err, Wall: time.Since(t0)}
+				sp.SetBool("err", err != nil)
+				sp.End()
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	elapsed := time.Since(start)

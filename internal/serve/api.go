@@ -37,6 +37,32 @@ type RunRequest struct {
 	// under its content hash (custom machines bypass the suite's
 	// default-config cache).
 	Config *ooo.Config `json:"config,omitempty"`
+	// Obs requests a per-run observability artifact: "pipeview" (Konata
+	// O3PipeView), "events" (NDJSON pipeline events) or "interval"
+	// (interval-sampled CSV). An observed run replays off the suite's
+	// record-once trace outside the result cache and the micro-batcher —
+	// the artifact is a side effect, not a cacheable value — and replay
+	// determinism makes the payload byte-identical to heliossim's for
+	// the same workload/config/budget.
+	Obs string `json:"obs,omitempty"`
+	// ObsInterval is the sampler period for obs:"interval", in committed
+	// instructions (0 = the server default).
+	ObsInterval uint64 `json:"obs_interval,omitempty"`
+}
+
+// Artifact is the captured observability stream of an obs run. Exactly
+// one of Data and Path is set: inline base64 by default, or a
+// server-side file when the server is configured with an artifact
+// directory. SHA256 covers the raw bytes either way, so clients can
+// verify integrity and replay determinism without re-downloading.
+type Artifact struct {
+	Kind     string `json:"kind"`               // pipeview | events | interval
+	Encoding string `json:"encoding"`           // base64 | file
+	Bytes    int    `json:"bytes"`              // raw payload size
+	SHA256   string `json:"sha256"`             // hex digest of the raw bytes
+	Data     string `json:"data,omitempty"`     // base64 payload (encoding=base64)
+	Path     string `json:"path,omitempty"`     // server-side path (encoding=file)
+	Manifest string `json:"manifest,omitempty"` // matching manifest path, when manifests are on
 }
 
 // RunResponse is one simulation result plus its service identity.
@@ -51,6 +77,9 @@ type RunResponse struct {
 	BatchSize int       `json:"batch_size,omitempty"` // size of the micro-batch this ran in
 	IPC       float64   `json:"ipc"`
 	Stats     ooo.Stats `json:"stats"`
+	// Artifact carries the captured obs stream for requests with an obs
+	// field.
+	Artifact *Artifact `json:"artifact,omitempty"`
 }
 
 // SuiteRequest asks for a workload×mode matrix in one call; the server

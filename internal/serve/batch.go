@@ -7,6 +7,7 @@ import (
 
 	"helios/internal/core"
 	"helios/internal/ooo"
+	"helios/internal/telemetry"
 )
 
 // batcher coalesces distinct cache-miss requests that share a
@@ -77,6 +78,11 @@ func (b *batcher) submit(ctx context.Context, workload string, budget uint64, cf
 	item := &batchItem{ctx: ctx, cfg: cfg, custom: custom, done: make(chan batchDone, 1)}
 	key := groupKey{workload, budget}
 
+	// batch_wait spans the whole coalesce-to-result window: every item
+	// parks before cut() detaches the batch, so the executor's record
+	// and replay spans nest strictly inside it and lane 0 stays laminar.
+	tr := telemetry.FromContext(ctx)
+	bw := tr.Start("batch_wait")
 	b.mu.Lock()
 	g := b.groups[key]
 	if g == nil {
@@ -95,11 +101,15 @@ func (b *batcher) submit(ctx context.Context, workload string, budget uint64, cf
 
 	select {
 	case d := <-item.done:
+		bw.SetInt("batch_size", int64(d.size))
+		bw.End()
 		return d.res, d.size, d.err
 	case <-ctx.Done():
 		// The batch still runs; this item's replay fails fast on its own
 		// dead context and the executor's send lands in the buffered
 		// channel, so nothing leaks.
+		bw.SetAttr("abandoned", "true")
+		bw.End()
 		return nil, 0, ctx.Err()
 	}
 }
@@ -129,9 +139,22 @@ func (b *batcher) cut(key groupKey, g *batchGroup) {
 // fan-out of per-request replays, each under its own request context.
 func (b *batcher) execute(key groupKey, g *batchGroup) {
 	size := len(g.items)
-	if _, err := b.suite.RecordingBudget(b.baseCtx, key.workload, key.budget); err != nil {
+	// Every item in the batch shares one record phase: each request's
+	// trace gets its own "record" span over the shared work, so one
+	// trace file tells the whole story of what its request waited on.
+	recs := make([]*telemetry.Span, len(g.items))
+	for i, item := range g.items {
+		recs[i] = telemetry.FromContext(item.ctx).Start("record")
+		recs[i].SetInt("batch_size", int64(size))
+	}
+	_, recErr := b.suite.RecordingBudget(b.baseCtx, key.workload, key.budget)
+	for _, sp := range recs {
+		sp.SetBool("err", recErr != nil)
+		sp.End()
+	}
+	if recErr != nil {
 		for _, item := range g.items {
-			item.done <- batchDone{err: err, size: size}
+			item.done <- batchDone{err: recErr, size: size}
 		}
 		return
 	}
@@ -140,6 +163,8 @@ func (b *batcher) execute(key groupKey, g *batchGroup) {
 		wg.Add(1)
 		go func(item *batchItem) {
 			defer wg.Done()
+			sp := telemetry.FromContext(item.ctx).Start("replay")
+			sp.SetBool("custom", item.custom)
 			var (
 				res *core.Result
 				err error
@@ -151,6 +176,8 @@ func (b *batcher) execute(key groupKey, g *batchGroup) {
 				// traffic and suite-endpoint cells share results.
 				res, err = b.suite.GetBudget(item.ctx, key.workload, item.cfg.Mode, key.budget)
 			}
+			sp.SetBool("err", err != nil)
+			sp.End()
 			item.done <- batchDone{res: res, err: err, size: size}
 		}(item)
 	}

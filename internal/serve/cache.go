@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"helios/internal/core"
+	"helios/internal/telemetry"
 )
 
 // resultCache is the content-addressed result store plus the
@@ -44,11 +45,19 @@ func newResultCache() *resultCache {
 // request that faults will fault again) except context failures, which
 // belong to the caller, not the key.
 func (c *resultCache) do(ctx context.Context, key string, fn func() (*core.Result, error)) (res *core.Result, cached, coalesced bool, err error) {
+	// cache_read covers the lookup/wait loop; spans end explicitly on
+	// every exit path (never by defer) so the span-balance contract the
+	// chaos soak audits holds even when a waiter's context dies mid-loop.
+	tr := telemetry.FromContext(ctx)
+	rd := tr.Start("cache_read")
 	c.mu.Lock()
 	for {
 		if e, ok := c.entries[key]; ok {
 			c.hits++
 			c.mu.Unlock()
+			rd.SetAttr("hit", "true")
+			rd.SetBool("coalesced", coalesced)
+			rd.End()
 			return e.res, !coalesced, coalesced, e.err
 		}
 		ch, inflight := c.flight[key]
@@ -61,6 +70,9 @@ func (c *resultCache) do(ctx context.Context, key string, fn func() (*core.Resul
 		select {
 		case <-ch:
 		case <-ctx.Done():
+			rd.SetAttr("hit", "false")
+			rd.SetBool("coalesced", true)
+			rd.End()
 			return nil, false, true, ctx.Err()
 		}
 		c.mu.Lock()
@@ -69,9 +81,13 @@ func (c *resultCache) do(ctx context.Context, key string, fn func() (*core.Resul
 	c.flight[key] = ch
 	c.misses++
 	c.mu.Unlock()
+	rd.SetAttr("hit", "false")
+	rd.SetBool("coalesced", coalesced)
+	rd.End()
 
 	res, err = fn()
 
+	wr := tr.Start("cache_write")
 	c.mu.Lock()
 	if !isCtxErr(err) {
 		c.entries[key] = &cacheEntry{res: res, err: err}
@@ -79,6 +95,8 @@ func (c *resultCache) do(ctx context.Context, key string, fn func() (*core.Resul
 	delete(c.flight, key)
 	c.mu.Unlock()
 	close(ch)
+	wr.SetBool("stored", !isCtxErr(err))
+	wr.End()
 	return res, false, coalesced, err
 }
 

@@ -1,20 +1,29 @@
 package serve
 
 import (
+	"bytes"
 	"context"
+	"crypto/sha256"
+	"encoding/base64"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"time"
 
 	"helios/internal/core"
 	"helios/internal/fusion"
+	"helios/internal/obs"
 	"helios/internal/ooo"
 	"helios/internal/report"
 	"helios/internal/stats"
+	"helios/internal/telemetry"
 	"helios/internal/workloads"
 )
 
@@ -46,6 +55,22 @@ type Config struct {
 	// ManifestDir, when set, receives a per-request JSON manifest
 	// (config + stats + build identity) for every completed /v1/run.
 	ManifestDir string
+	// Telemetry enables per-request span tracing (DESIGN.md §16). Off,
+	// the tracer is a nil pointer and every hook on the request path is
+	// a zero-allocation no-op (TestServeTelemetryOffNoAllocs).
+	Telemetry bool
+	// TraceRing bounds the finished traces retained for GET /tracez
+	// (0 = telemetry.DefaultRing).
+	TraceRing int
+	// TraceDir, when set (and Telemetry is on), receives one Chrome
+	// trace-event JSON file per finished request.
+	TraceDir string
+	// ArtifactDir, when set, switches /v1/run obs artifacts from inline
+	// base64 payloads to server-side files referenced by path.
+	ArtifactDir string
+	// SpanLog, when non-nil (and Telemetry is on), receives the NDJSON
+	// span stream.
+	SpanLog io.Writer
 	// Logf receives operational log lines (nil = silent).
 	Logf func(format string, args ...any)
 }
@@ -90,6 +115,9 @@ type Server struct {
 	cache   *resultCache
 	batch   *batcher
 	baseCtx context.Context
+	// tel is nil unless Config.Telemetry — the nil pointer IS the
+	// disabled state, so the request path never branches on a flag.
+	tel *telemetry.Tracer
 
 	wg sync.WaitGroup
 
@@ -111,18 +139,27 @@ func New(ctx context.Context, cfg Config) *Server {
 		cfg.MaxBodyBytes = 1 << 20
 	}
 	suite := core.NewSuite(cfg.DefaultInsts)
+	var tel *telemetry.Tracer
+	if cfg.Telemetry {
+		tel = telemetry.New(telemetry.Options{Ring: cfg.TraceRing, NDJSON: cfg.SpanLog})
+	}
 	return &Server{
 		cfg:     cfg,
 		suite:   suite,
 		cache:   newResultCache(),
 		batch:   newBatcher(ctx, suite, cfg.MaxBatch, cfg.BatchWait),
 		baseCtx: ctx,
+		tel:     tel,
 	}
 }
 
 // Suite exposes the underlying record/replay cache — the chaos soak
 // seeds poisoned recordings through it, and cmds surface its metrics.
 func (s *Server) Suite() *core.Suite { return s.suite }
+
+// Telemetry exposes the span tracer (nil when disabled); the chaos soak
+// audits its span-balance contract through this.
+func (s *Server) Telemetry() *telemetry.Tracer { return s.tel }
 
 // MaxInflight reports the admission high-water mark; the soak test
 // asserts it never exceeds QueueDepth.
@@ -155,6 +192,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metricz", s.handleMetricz)
+	mux.HandleFunc("GET /tracez", s.handleTracez)
 	return mux
 }
 
@@ -188,49 +226,88 @@ func (s *Server) Drain(ctx context.Context) error {
 // and error classification.
 func (s *Server) api(h func(ctx context.Context, r *http.Request) (any, *Error)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		// The trace opens before admission so rejected requests trace
+		// too, and finishes after the panic recovery defer has run —
+		// every span opened below is closed on every exit path, which
+		// is exactly the balance contract the chaos soak audits.
+		tr := s.tel.StartTrace(r.Method + " " + r.URL.Path)
+		defer s.finishTrace(tr)
 		defer func() {
 			if rec := recover(); rec != nil {
 				s.mu.Lock()
 				s.c.PanicsRecovered++
 				s.mu.Unlock()
+				tr.SetAttr("outcome", "panic")
 				writeError(w, &Error{Kind: ErrInternal,
 					Msg: fmt.Sprintf("recovered handler panic: %v", rec)})
 			}
 		}()
-		if e := s.admitOne(); e != nil {
+		adm := tr.Start("admission")
+		depth, e := s.admitOne()
+		adm.SetInt("inflight", int64(depth))
+		if e != nil {
+			adm.SetAttr("rejected", string(e.Kind))
+			adm.End()
+			tr.SetAttr("outcome", string(e.Kind))
 			writeError(w, e)
 			return
 		}
+		adm.End()
 		t0 := time.Now()
 		defer s.releaseOne(t0)
 		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
-		resp, e := h(r.Context(), r)
+		resp, e := h(telemetry.WithTrace(r.Context(), tr), r)
 		if e != nil {
 			s.noteError(e)
+			tr.SetAttr("outcome", string(e.Kind))
 			writeError(w, e)
 			return
 		}
 		s.mu.Lock()
 		s.c.Completed++
 		s.mu.Unlock()
+		tr.SetAttr("outcome", "ok")
 		writeJSON(w, http.StatusOK, resp)
+	}
+}
+
+// finishTrace closes a request trace and, when TraceDir is set, exports
+// it as a standalone Chrome trace-event file. Export failures are
+// telemetry, never request failures.
+func (s *Server) finishTrace(tr *telemetry.Trace) {
+	tr.Finish()
+	if tr == nil || s.cfg.TraceDir == "" {
+		return
+	}
+	ti := tr.Snapshot()
+	path := filepath.Join(s.cfg.TraceDir, fmt.Sprintf("trace-%d.json", ti.ID))
+	f, err := os.Create(path)
+	if err != nil {
+		s.logf("serve: trace export %s: %v", path, err)
+		return
+	}
+	defer f.Close()
+	if err := telemetry.WriteChromeTrace(f, []telemetry.TraceInfo{ti}); err != nil {
+		s.logf("serve: trace export %s: %v", path, err)
 	}
 }
 
 // admitOne is the bounded admission queue: it refuses drains and
 // overload under one lock so the inflight count can never exceed
-// QueueDepth, and registers the request with the drain group.
-func (s *Server) admitOne() *Error {
+// QueueDepth, and registers the request with the drain group. The int
+// return is the post-admission inflight depth (the queue position the
+// admission span records).
+func (s *Server) admitOne() (int, *Error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.draining {
 		s.c.RejectedDraining++
-		return &Error{Kind: ErrDraining, Msg: "server is draining",
+		return s.inflight, &Error{Kind: ErrDraining, Msg: "server is draining",
 			RetryAfterMs: s.cfg.RetryAfter.Milliseconds()}
 	}
 	if s.inflight >= s.cfg.QueueDepth {
 		s.c.RejectedOverload++
-		return &Error{Kind: ErrOverload,
+		return s.inflight, &Error{Kind: ErrOverload,
 			Msg:          fmt.Sprintf("admission queue full (%d in flight)", s.inflight),
 			RetryAfterMs: s.cfg.RetryAfter.Milliseconds()}
 	}
@@ -240,7 +317,7 @@ func (s *Server) admitOne() *Error {
 	}
 	s.c.Admitted++
 	s.wg.Add(1)
-	return nil
+	return s.inflight, nil
 }
 
 func (s *Server) releaseOne(t0 time.Time) {
@@ -353,8 +430,16 @@ func (s *Server) handleRun(ctx0 context.Context, r *http.Request) (any, *Error) 
 	if err != nil {
 		return nil, classify(err)
 	}
+	tr := telemetry.FromContext(ctx0)
+	tr.SetAttr("workload", name)
+	tr.SetAttr("mode", cfg.Mode.String())
+	tr.SetAttr("key", key)
 	ctx, cancel := s.reqCtx(ctx0, req.DeadlineMs)
 	defer cancel()
+
+	if req.Obs != "" {
+		return s.runObs(ctx, &req, name, cfg, budget, key)
+	}
 
 	batchSize := 0
 	res, cached, coalesced, err := s.cache.do(ctx, key, func() (*core.Result, error) {
@@ -365,8 +450,11 @@ func (s *Server) handleRun(ctx0 context.Context, r *http.Request) (any, *Error) 
 	if err != nil {
 		return nil, classify(err)
 	}
+	tr.SetAttr("cached", boolStr(cached))
 	if s.cfg.ManifestDir != "" && !cached {
+		msp := tr.Start("manifest")
 		s.writeManifest(key, name, cfg, res)
+		msp.End()
 	}
 	return &RunResponse{
 		Key:       key,
@@ -380,6 +468,112 @@ func (s *Server) handleRun(ctx0 context.Context, r *http.Request) (any, *Error) 
 		IPC:       res.Stats.IPC(),
 		Stats:     res.Stats,
 	}, nil
+}
+
+func boolStr(v bool) string {
+	if v {
+		return "true"
+	}
+	return "false"
+}
+
+// obsDefaultInterval is the interval sampler period (in committed µops)
+// when an obs:"interval" request does not specify one — the same
+// default as heliossim -interval's documentation examples.
+const obsDefaultInterval = 10000
+
+// runObs serves a /v1/run request carrying an obs field: the result is
+// recomputed as one observed replay off the suite's record-once trace
+// (never through the result cache — an observed run is side-effecting)
+// and the captured stream is returned as an artifact, inline base64 by
+// default or as a server-side file when ArtifactDir is set. Replay
+// determinism makes the payload byte-identical to a heliossim run of
+// the same workload/config/budget.
+func (s *Server) runObs(ctx context.Context, req *RunRequest, name string, cfg ooo.Config, budget uint64, key string) (any, *Error) {
+	ob, buf, ext, e := buildObserver(req)
+	if e != nil {
+		return nil, e
+	}
+	tr := telemetry.FromContext(ctx)
+	sp := tr.Start("replay")
+	sp.SetAttr("obs", req.Obs)
+	res, err := s.suite.ObserveReplayConfig(ctx, name, cfg, budget, ob)
+	sp.End()
+	if err != nil {
+		return nil, classify(err)
+	}
+	art, e := s.emitArtifact(ctx, req.Obs, ext, name, cfg, key, buf.Bytes())
+	if e != nil {
+		return nil, e
+	}
+	if s.cfg.ManifestDir != "" {
+		msp := tr.Start("manifest")
+		s.writeManifest(key, name, cfg, res)
+		msp.End()
+		art.Manifest = filepath.Join(s.cfg.ManifestDir,
+			fmt.Sprintf("%s-%s-%s.json", name, cfg.Mode, key[:12]))
+	}
+	return &RunResponse{
+		Key:      key,
+		Workload: name,
+		Mode:     cfg.Mode.String(),
+		Insts:    budget,
+		Engine:   core.EngineVersion(),
+		IPC:      res.Stats.IPC(),
+		Stats:    res.Stats,
+		Artifact: art,
+	}, nil
+}
+
+// buildObserver maps a request's obs field onto a buffered
+// obs.Observer: exactly one stream is wired per request, so the
+// artifact is a single well-defined file.
+func buildObserver(req *RunRequest) (*obs.Observer, *bytes.Buffer, string, *Error) {
+	buf := &bytes.Buffer{}
+	switch req.Obs {
+	case "pipeview":
+		return &obs.Observer{PipeView: buf}, buf, "pipeview", nil
+	case "events":
+		return &obs.Observer{Events: buf}, buf, "events.ndjson", nil
+	case "interval":
+		interval := req.ObsInterval
+		if interval == 0 {
+			interval = obsDefaultInterval
+		}
+		return &obs.Observer{Metrics: buf, SampleEvery: interval}, buf, "intervals.csv", nil
+	default:
+		return nil, nil, "", &Error{Kind: ErrBadRequest,
+			Msg: fmt.Sprintf("unknown obs kind %q (want pipeview, events or interval)", req.Obs)}
+	}
+}
+
+// emitArtifact packages a captured obs stream: a server-side file under
+// ArtifactDir when configured, an inline base64 payload otherwise. The
+// SHA-256 of the raw bytes rides along either way so clients can check
+// replay determinism against a local heliossim run without downloading.
+func (s *Server) emitArtifact(ctx context.Context, kind, ext, name string, cfg ooo.Config, key string, data []byte) (*Artifact, *Error) {
+	sp := telemetry.FromContext(ctx).Start("artifact")
+	sp.SetAttr("kind", kind)
+	sp.SetInt("bytes", int64(len(data)))
+	defer sp.End()
+	sum := sha256.Sum256(data)
+	art := &Artifact{
+		Kind:   kind,
+		Bytes:  len(data),
+		SHA256: hex.EncodeToString(sum[:]),
+	}
+	if s.cfg.ArtifactDir == "" {
+		art.Encoding = "base64"
+		art.Data = base64.StdEncoding.EncodeToString(data)
+		return art, nil
+	}
+	art.Encoding = "file"
+	path := filepath.Join(s.cfg.ArtifactDir, fmt.Sprintf("%s-%s-%s.%s", name, cfg.Mode, key[:12], ext))
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return nil, &Error{Kind: ErrInternal, Msg: "write artifact: " + err.Error()}
+	}
+	art.Path = path
+	return art, nil
 }
 
 // writeManifest records one completed run in the manifest directory.
@@ -568,12 +762,79 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, status, h)
 }
 
-func (s *Server) handleMetricz(w http.ResponseWriter, r *http.Request) {
-	entries, hits, misses, coalesced := s.cache.stats()
-	batches, batched, maxBatch := s.batch.stats()
-	sm := s.suite.Metrics()
+// HistSummary is the JSON rendering of a latency histogram: count,
+// mean and the P50/P95/P99 percentiles, all in the histogram's base
+// unit (microseconds for heliosd). Both /metricz forms derive from the
+// same stats.Histogram, so JSON percentiles and Prometheus buckets can
+// never disagree about the underlying distribution.
+type HistSummary struct {
+	Count uint64 `json:"count"`
+	Mean  uint64 `json:"mean"`
+	P50   uint64 `json:"p50"`
+	P95   uint64 `json:"p95"`
+	P99   uint64 `json:"p99"`
+}
+
+func summarize(h stats.Histogram) HistSummary {
+	return HistSummary{
+		Count: h.Count,
+		Mean:  h.Mean(),
+		P50:   h.Percentile(50),
+		P95:   h.Percentile(95),
+		P99:   h.Percentile(99),
+	}
+}
+
+// metricsSnapshot is one consistent read of every counter surface the
+// two /metricz renderings share.
+type metricsSnapshot struct {
+	draining       bool
+	inflight       int
+	maxInflight    int
+	queueDepth     int
+	c              Counters
+	latency        stats.Histogram
+	cacheEntries   int
+	cacheHits      uint64
+	cacheMisses    uint64
+	cacheCoalesced uint64
+	batches        uint64
+	batched        uint64
+	maxBatch       uint64
+	suite          core.Metrics
+	tracing        telemetry.Metrics
+	spanHists      []telemetry.NamedHistogram
+}
+
+func (s *Server) snapshotMetrics() metricsSnapshot {
+	var snap metricsSnapshot
+	snap.cacheEntries, snap.cacheHits, snap.cacheMisses, snap.cacheCoalesced = s.cache.stats()
+	snap.batches, snap.batched, snap.maxBatch = s.batch.stats()
+	snap.suite = s.suite.Metrics()
+	snap.tracing = s.tel.Metrics()
+	snap.spanHists = s.tel.Histograms()
 	s.mu.Lock()
-	lat := s.latency
+	snap.draining = s.draining
+	snap.inflight = s.inflight
+	snap.maxInflight = s.maxInflight
+	snap.queueDepth = s.cfg.QueueDepth
+	snap.c = s.c
+	snap.latency = s.latency
+	s.mu.Unlock()
+	return snap
+}
+
+// handleMetricz content-negotiates the metrics surface: the structured
+// JSON document by default, Prometheus text exposition 0.0.4 when the
+// client asks for it (`?format=prometheus`, or an Accept header naming
+// text/plain / openmetrics). `?format=json` always forces JSON, so
+// heliosctl keeps working behind scrape-all proxies.
+func (s *Server) handleMetricz(w http.ResponseWriter, r *http.Request) {
+	snap := s.snapshotMetrics()
+	if wantsProm(r) {
+		s.writeProm(w, snap)
+		return
+	}
 	payload := struct {
 		Engine      string   `json:"engine"`
 		Draining    bool     `json:"draining"`
@@ -600,41 +861,143 @@ func (s *Server) handleMetricz(w http.ResponseWriter, r *http.Request) {
 			DedupedRuns   uint64 `json:"deduped_runs"`
 			LiveFallbacks uint64 `json:"live_fallbacks"`
 		} `json:"suite"`
-		LatencyUs struct {
-			Count uint64 `json:"count"`
-			Mean  uint64 `json:"mean"`
-			P50   uint64 `json:"p50"`
-			P95   uint64 `json:"p95"`
-			P99   uint64 `json:"p99"`
-		} `json:"latency_us"`
+		LatencyUs HistSummary            `json:"latency_us"`
+		Spans     map[string]HistSummary `json:"spans,omitempty"`
+		Tracing   *telemetry.Metrics     `json:"tracing,omitempty"`
 	}{
 		Engine:      core.EngineVersion(),
-		Draining:    s.draining,
-		Inflight:    s.inflight,
-		MaxInflight: s.maxInflight,
-		QueueDepth:  s.cfg.QueueDepth,
-		Server:      s.c,
+		Draining:    snap.draining,
+		Inflight:    snap.inflight,
+		MaxInflight: snap.maxInflight,
+		QueueDepth:  snap.queueDepth,
+		Server:      snap.c,
+		LatencyUs:   summarize(snap.latency),
 	}
-	s.mu.Unlock()
-	payload.Cache.Entries = entries
-	payload.Cache.Hits = hits
-	payload.Cache.Misses = misses
-	payload.Cache.Coalesced = coalesced
-	payload.Batch.Batches = batches
-	payload.Batch.Requests = batched
-	payload.Batch.MaxBatch = maxBatch
-	payload.Suite.TraceMisses = sm.TraceMisses
-	payload.Suite.TraceHits = sm.TraceHits
-	payload.Suite.Replays = sm.Replays
-	payload.Suite.PipelineRuns = sm.PipelineRuns
-	payload.Suite.DedupedRuns = sm.DedupedRuns
-	payload.Suite.LiveFallbacks = sm.LiveFallbacks
-	payload.LatencyUs.Count = lat.Count
-	payload.LatencyUs.Mean = lat.Mean()
-	payload.LatencyUs.P50 = lat.Percentile(50)
-	payload.LatencyUs.P95 = lat.Percentile(95)
-	payload.LatencyUs.P99 = lat.Percentile(99)
+	payload.Cache.Entries = snap.cacheEntries
+	payload.Cache.Hits = snap.cacheHits
+	payload.Cache.Misses = snap.cacheMisses
+	payload.Cache.Coalesced = snap.cacheCoalesced
+	payload.Batch.Batches = snap.batches
+	payload.Batch.Requests = snap.batched
+	payload.Batch.MaxBatch = snap.maxBatch
+	payload.Suite.TraceMisses = snap.suite.TraceMisses
+	payload.Suite.TraceHits = snap.suite.TraceHits
+	payload.Suite.Replays = snap.suite.Replays
+	payload.Suite.PipelineRuns = snap.suite.PipelineRuns
+	payload.Suite.DedupedRuns = snap.suite.DedupedRuns
+	payload.Suite.LiveFallbacks = snap.suite.LiveFallbacks
+	if s.tel != nil {
+		payload.Tracing = &snap.tracing
+		if len(snap.spanHists) > 0 {
+			payload.Spans = make(map[string]HistSummary, len(snap.spanHists))
+			for _, nh := range snap.spanHists {
+				payload.Spans[nh.Name] = summarize(nh.Hist)
+			}
+		}
+	}
 	writeJSON(w, http.StatusOK, payload)
+}
+
+func wantsProm(r *http.Request) bool {
+	switch r.URL.Query().Get("format") {
+	case "prometheus", "text":
+		return true
+	case "json":
+		return false
+	}
+	acc := r.Header.Get("Accept")
+	return strings.Contains(acc, "text/plain") || strings.Contains(acc, "openmetrics")
+}
+
+// writeProm renders the snapshot as Prometheus exposition 0.0.4. The
+// name scheme follows the convention in DESIGN.md §16: heliosd_ prefix,
+// _total suffix on counters, base units spelled out in the name. The
+// output passes telemetry.LintExposition — CI's telemetry-smoke job
+// asserts exactly that.
+func (s *Server) writeProm(w http.ResponseWriter, snap metricsSnapshot) {
+	w.Header().Set("Content-Type", telemetry.PromContentType)
+	p := telemetry.NewPromWriter(w)
+	p.Counter("heliosd_requests_admitted_total", "Requests admitted past the bounded queue.", snap.c.Admitted)
+	p.CounterVec("heliosd_requests_rejected_total", "Requests refused at admission, by reason.", []telemetry.LabeledValue{
+		{Labels: []telemetry.Label{{Name: "reason", Value: "overload"}}, Value: snap.c.RejectedOverload},
+		{Labels: []telemetry.Label{{Name: "reason", Value: "draining"}}, Value: snap.c.RejectedDraining},
+	})
+	p.CounterVec("heliosd_requests_failed_total", "Admitted requests that failed, by error kind.", []telemetry.LabeledValue{
+		{Labels: []telemetry.Label{{Name: "kind", Value: "bad_request"}}, Value: snap.c.BadRequests},
+		{Labels: []telemetry.Label{{Name: "kind", Value: "oversized"}}, Value: snap.c.Oversized},
+		{Labels: []telemetry.Label{{Name: "kind", Value: "deadline"}}, Value: snap.c.DeadlineExpired},
+		{Labels: []telemetry.Label{{Name: "kind", Value: "canceled"}}, Value: snap.c.Canceled},
+		{Labels: []telemetry.Label{{Name: "kind", Value: "engine_fault"}}, Value: snap.c.EngineFaults},
+	})
+	p.Counter("heliosd_requests_completed_total", "Requests that returned 200.", snap.c.Completed)
+	p.Counter("heliosd_panics_recovered_total", "Handler panics converted to structured 500s.", snap.c.PanicsRecovered)
+	p.Counter("heliosd_manifests_written_total", "Per-run manifests written.", snap.c.ManifestsWritten)
+	p.Counter("heliosd_manifest_errors_total", "Manifest writes that failed.", snap.c.ManifestErrors)
+	p.Gauge("heliosd_draining", "1 while the server refuses new work.", b2f(snap.draining))
+	p.Gauge("heliosd_inflight_requests", "Requests currently admitted.", float64(snap.inflight))
+	p.Gauge("heliosd_inflight_requests_max", "Admission high-water mark.", float64(snap.maxInflight))
+	p.Gauge("heliosd_queue_depth", "Configured admission bound.", float64(snap.queueDepth))
+	p.Gauge("heliosd_cache_entries", "Content-addressed results resident.", float64(snap.cacheEntries))
+	p.Counter("heliosd_cache_hits_total", "Result-cache hits.", snap.cacheHits)
+	p.Counter("heliosd_cache_misses_total", "Result-cache misses.", snap.cacheMisses)
+	p.Counter("heliosd_cache_coalesced_total", "Requests that waited on an identical in-flight run.", snap.cacheCoalesced)
+	p.Counter("heliosd_batches_total", "Micro-batches executed.", snap.batches)
+	p.Counter("heliosd_batched_requests_total", "Requests that rode in a micro-batch.", snap.batched)
+	p.Gauge("heliosd_batch_size_max", "Largest batch cut so far.", float64(snap.maxBatch))
+	p.Counter("heliosd_suite_trace_hits_total", "Record-once trace cache hits.", snap.suite.TraceHits)
+	p.Counter("heliosd_suite_trace_misses_total", "Record-once trace cache misses.", snap.suite.TraceMisses)
+	p.Counter("heliosd_suite_replays_total", "Replay runs off cached recordings.", snap.suite.Replays)
+	p.Counter("heliosd_suite_pipeline_runs_total", "Full pipeline simulations.", snap.suite.PipelineRuns)
+	p.Counter("heliosd_suite_deduped_runs_total", "Suite runs deduplicated by singleflight.", snap.suite.DedupedRuns)
+	p.Counter("heliosd_suite_live_fallbacks_total", "Corrupt recordings degraded to live re-emulation.", snap.suite.LiveFallbacks)
+	p.Histogram("heliosd_request_duration_microseconds", "Completed-request wall time.", snap.latency)
+	if s.tel != nil {
+		t := snap.tracing
+		p.Counter("heliosd_traces_started_total", "Request traces started.", t.TracesStarted)
+		p.Counter("heliosd_traces_finished_total", "Request traces finished.", t.TracesFinished)
+		p.Counter("heliosd_spans_started_total", "Spans started.", t.SpansStarted)
+		p.Counter("heliosd_spans_ended_total", "Spans ended.", t.SpansEnded)
+		p.Counter("heliosd_span_double_ends_total", "Duplicate span Ends (contract violations).", t.SpanDoubleEnds)
+		p.Counter("heliosd_spans_dropped_total", "Spans dropped on finished traces.", t.SpansDropped)
+		p.Counter("heliosd_trace_ring_evicted_total", "Finished traces evicted from the /tracez ring.", t.RingEvicted)
+		p.Counter("heliosd_trace_export_errors_total", "Trace/NDJSON export failures.", t.ExportErrors)
+		if len(snap.spanHists) > 0 {
+			series := make([]telemetry.LabeledHist, 0, len(snap.spanHists))
+			for _, nh := range snap.spanHists {
+				series = append(series, telemetry.LabeledHist{
+					Labels: []telemetry.Label{{Name: "span", Value: nh.Name}},
+					Hist:   nh.Hist,
+				})
+			}
+			p.HistogramVec("heliosd_span_duration_microseconds", "Span wall time, labeled by span name.", series)
+		}
+	}
+	if err := p.Err(); err != nil {
+		s.logf("serve: prometheus exposition: %v", err)
+	}
+}
+
+func b2f(v bool) float64 {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+// handleTracez serves the tracer's retained ring of finished request
+// traces as one Chrome trace-event JSON document — load it straight
+// into Perfetto. 404 when telemetry is off, so probes can distinguish
+// "disabled" from "no traffic yet".
+func (s *Server) handleTracez(w http.ResponseWriter, r *http.Request) {
+	if s.tel == nil {
+		writeError(w, &Error{Kind: ErrBadRequest,
+			Msg: "telemetry disabled (start heliosd with -telemetry)"})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := telemetry.WriteChromeTrace(w, s.tel.Finished()); err != nil {
+		s.logf("serve: tracez export: %v", err)
+	}
 }
 
 // decodeJSON parses a request body strictly: unknown fields, trailing

@@ -28,10 +28,14 @@ import (
 //   - zero panics, zero hung requests (chaos.ServiceCampaign's watchdog)
 //   - every response is a valid result or a typed error (no violations)
 //   - the admission queue bound is never exceeded
+//   - every span started during the campaign ended exactly once — no
+//     orphan spans under the panic/deadline/drain paths (the audit hook
+//     of chaos.AuditedServiceCampaign)
 //   - the server drains cleanly afterwards and refuses new work typed
 //
 // Run under -race this doubles as the concurrency audit of the whole
-// serve stack (cache singleflight, batcher, admission accounting).
+// serve stack (cache singleflight, batcher, admission accounting,
+// tracer).
 func TestServiceSoak(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.DefaultInsts = 3_000
@@ -40,6 +44,8 @@ func TestServiceSoak(t *testing.T) {
 	cfg.BatchWait = time.Millisecond
 	cfg.MaxBodyBytes = 8 << 10
 	cfg.RetryAfter = 5 * time.Millisecond
+	cfg.Telemetry = true
+	cfg.TraceRing = 512 // retain the whole campaign for the audit
 
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
@@ -68,7 +74,33 @@ func TestServiceSoak(t *testing.T) {
 	names := []string{"crc32", "sha", "qsort", "bitcount"}
 	const clients, perClient = 8, 25
 
-	rep := chaos.ServiceCampaign(ctx, clients, perClient, 30*time.Second,
+	// The span audit runs after every client is done. Batch executors for
+	// deadline-abandoned requests can still be finishing their (balanced)
+	// span pairs in the background, so the balance check polls briefly
+	// before declaring an orphan — a genuinely leaked span never heals,
+	// a lagging End does.
+	audit := func() []error {
+		tel := s.Telemetry()
+		var balErr error
+		for wait := time.Duration(0); wait < 10*time.Second; wait += 20 * time.Millisecond {
+			if balErr = tel.Balance(); balErr == nil {
+				break
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		var errs []error
+		if balErr != nil {
+			errs = append(errs, balErr)
+		}
+		for _, ti := range tel.Finished() {
+			if err := ti.Validate(); err != nil {
+				errs = append(errs, fmt.Errorf("trace %d (%s): %w", ti.ID, ti.Name, err))
+			}
+		}
+		return errs
+	}
+
+	rep := chaos.AuditedServiceCampaign(ctx, clients, perClient, 30*time.Second,
 		func(ctx context.Context, client, seq int) (chaos.ServiceVerdict, string) {
 			rng := rand.New(rand.NewPCG(uint64(client), uint64(seq)))
 			switch rng.IntN(10) {
@@ -91,6 +123,9 @@ func TestServiceSoak(t *testing.T) {
 			case 5: // suite matrix
 				body := fmt.Sprintf(`{"workloads":[%q],"modes":["NoFusion","Helios"]}`, names[rng.IntN(len(names))])
 				return soakPost(ts.URL+"/v1/suite", body)
+			case 6: // observed replay with an inline artifact
+				body := fmt.Sprintf(`{"workload":%q,"obs":"pipeview","insts":2000}`, names[rng.IntN(len(names))])
+				return soakPost(ts.URL+"/v1/run", body)
 			default: // benign run across workloads/modes/budgets
 				body := fmt.Sprintf(`{"workload":%q,"mode":%q,"insts":%d}`,
 					names[rng.IntN(len(names))],
@@ -98,7 +133,7 @@ func TestServiceSoak(t *testing.T) {
 					1_000*(1+rng.IntN(3)))
 				return soakPost(ts.URL+"/v1/run", body)
 			}
-		})
+		}, audit)
 
 	if rep.Runs != clients*perClient {
 		t.Errorf("Runs = %d, want %d", rep.Runs, clients*perClient)

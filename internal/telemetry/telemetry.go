@@ -1,0 +1,526 @@
+// Package telemetry is the service-layer twin of internal/obs: where
+// obs explains what the simulated core did to a µop, telemetry explains
+// what heliosd did to a request. A Tracer hands out per-request Traces;
+// code on the request path opens named Spans (admission, cache_read,
+// batch_wait, record, replay, cache_write, manifest) carrying string
+// attributes, and the tracer aggregates span durations into
+// stats.Histogram latency histograms plus bookkeeping counters that
+// prove the span contract (every started span ends exactly once).
+//
+// The package follows the same two disciplines as internal/obs:
+//
+//   - Zero cost when disabled. A nil *Tracer, nil *Trace and nil *Span
+//     are fully usable no-ops: every exported method starts with a
+//     concrete nil-pointer check and returns before touching anything
+//     that could allocate. The disabled path is pinned at zero
+//     allocations by TestDisabledPathNoAllocs (and end to end by
+//     serve's TestServeTelemetryOffNoAllocs), and proven over the whole
+//     static call closure by heliosvet's hotalloc analyzer via the
+//     //helios:hotpath roots below.
+//
+//   - Determinism quarantine. Spans measure wall-clock time, which is
+//     nondeterministic by nature; their output (Chrome trace JSON,
+//     NDJSON span logs, Prometheus exposition) must therefore never be
+//     spliced into a deterministic surface such as `experiments
+//     -metrics` or a manifest's stats block. Exports live in their own
+//     files/endpoints, exactly like ooo.Stats.WallRows vs Rows.
+package telemetry
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"helios/internal/stats"
+)
+
+// Options configures a Tracer.
+type Options struct {
+	// Clock supplies timestamps; nil means time.Now. Tests inject a
+	// deterministic clock so span math is byte-checkable.
+	Clock func() time.Time
+	// Ring is how many finished traces the tracer retains for export
+	// (/tracez, TraceDir). 0 means DefaultRing; negative disables
+	// retention.
+	Ring int
+	// NDJSON, when non-nil, receives one JSON line per finished span
+	// and per finished trace. Write errors latch (sticky, like
+	// obs.Observer): the first error is kept and further writes stop.
+	NDJSON io.Writer
+}
+
+// DefaultRing is the finished-trace retention when Options.Ring is 0.
+const DefaultRing = 64
+
+// Metrics is the tracer's telemetry-about-telemetry: cumulative
+// counters proving the span lifecycle contract. SpansStarted must equal
+// SpansEnded at quiescence and SpanDoubleEnds must stay zero — the
+// chaos soak asserts exactly that after a hostile campaign.
+type Metrics struct {
+	TracesStarted  uint64
+	TracesFinished uint64
+	SpansStarted   uint64
+	SpansEnded     uint64
+	// SpanDoubleEnds counts End calls on already-ended spans (a bug in
+	// the instrumented code; the duplicate End is ignored).
+	SpanDoubleEnds uint64
+	// SpansDropped counts Start calls against already-finished traces
+	// (e.g. a batch executor outliving a deadline-expired request);
+	// dropped spans return nil and never count as started.
+	SpansDropped uint64
+	// RingEvicted counts finished traces pushed out of the retention
+	// ring before being exported.
+	RingEvicted uint64
+	// ExportErrors counts NDJSON sink write failures (the first error
+	// latches and stops the sink).
+	ExportErrors uint64
+}
+
+// Rows enumerates every counter as (name, value) pairs — the dump
+// surface heliosvet's statscomplete analyzer requires of a *Metrics
+// struct, and the source for both the JSON and Prometheus forms.
+func (m Metrics) Rows() [][2]string {
+	u := func(v uint64) string { return fmt.Sprint(v) }
+	return [][2]string{
+		{"traces_started", u(m.TracesStarted)},
+		{"traces_finished", u(m.TracesFinished)},
+		{"spans_started", u(m.SpansStarted)},
+		{"spans_ended", u(m.SpansEnded)},
+		{"span_double_ends", u(m.SpanDoubleEnds)},
+		{"spans_dropped", u(m.SpansDropped)},
+		{"ring_evicted", u(m.RingEvicted)},
+		{"export_errors", u(m.ExportErrors)},
+	}
+}
+
+// Balance returns a non-nil error when the lifecycle contract is
+// violated: a started span never ended, a span ended twice, or a
+// started trace never finished. Safe on a nil tracer (always nil).
+func (t *Tracer) Balance() error {
+	if t == nil {
+		return nil
+	}
+	m := t.Metrics()
+	if m.SpansStarted != m.SpansEnded {
+		return fmt.Errorf("telemetry: span imbalance: %d started, %d ended", m.SpansStarted, m.SpansEnded)
+	}
+	if m.SpanDoubleEnds != 0 {
+		return fmt.Errorf("telemetry: %d spans ended more than once", m.SpanDoubleEnds)
+	}
+	if m.TracesStarted != m.TracesFinished {
+		return fmt.Errorf("telemetry: trace imbalance: %d started, %d finished", m.TracesStarted, m.TracesFinished)
+	}
+	return nil
+}
+
+// Attr is one span attribute. A small slice of Attrs replaces a map so
+// the enabled path stays cheap and export order stays deterministic.
+type Attr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// Tracer is the process-wide telemetry hub. The zero *Tracer (nil) is
+// the disabled state; all methods are nil-safe no-ops.
+type Tracer struct {
+	clock func() time.Time
+	epoch time.Time
+
+	// Lifecycle counters are atomics so span hooks never take two
+	// locks; the mu below guards only the ring, histograms and sink.
+	m struct {
+		tracesStarted  atomic.Uint64
+		tracesFinished atomic.Uint64
+		spansStarted   atomic.Uint64
+		spansEnded     atomic.Uint64
+		spanDoubleEnds atomic.Uint64
+		spansDropped   atomic.Uint64
+		ringEvicted    atomic.Uint64
+		exportErrors   atomic.Uint64
+	}
+
+	mu        sync.Mutex
+	nextID    uint64
+	ring      []*Trace // finished traces, oldest first
+	ringCap   int
+	hist      map[string]*stats.Histogram // span name → duration µs
+	ndjson    io.Writer
+	ndjsonErr error
+}
+
+// New builds an enabled Tracer. A nil *Tracer is the disabled form —
+// there is deliberately no "enabled" flag to check at call sites.
+func New(o Options) *Tracer {
+	t := &Tracer{
+		clock:   o.Clock,
+		ringCap: o.Ring,
+		hist:    make(map[string]*stats.Histogram),
+		ndjson:  o.NDJSON,
+	}
+	if t.clock == nil {
+		t.clock = time.Now
+	}
+	if t.ringCap == 0 {
+		t.ringCap = DefaultRing
+	}
+	if t.ringCap < 0 {
+		t.ringCap = 0
+	}
+	t.epoch = t.clock()
+	return t
+}
+
+// Metrics snapshots the lifecycle counters. Safe on nil (zero value).
+func (t *Tracer) Metrics() Metrics {
+	if t == nil {
+		return Metrics{}
+	}
+	return Metrics{
+		TracesStarted:  t.m.tracesStarted.Load(),
+		TracesFinished: t.m.tracesFinished.Load(),
+		SpansStarted:   t.m.spansStarted.Load(),
+		SpansEnded:     t.m.spansEnded.Load(),
+		SpanDoubleEnds: t.m.spanDoubleEnds.Load(),
+		SpansDropped:   t.m.spansDropped.Load(),
+		RingEvicted:    t.m.ringEvicted.Load(),
+		ExportErrors:   t.m.exportErrors.Load(),
+	}
+}
+
+// Histograms snapshots the per-span-name duration histograms
+// (microseconds), keyed and returned in sorted-name order for
+// deterministic exposition. Safe on nil (empty).
+func (t *Tracer) Histograms() []NamedHistogram {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]NamedHistogram, 0, len(t.hist))
+	for name, h := range t.hist {
+		out = append(out, NamedHistogram{Name: name, Hist: *h})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// NamedHistogram pairs a span name with a value copy of its duration
+// histogram.
+type NamedHistogram struct {
+	Name string
+	Hist stats.Histogram
+}
+
+// SinkErr reports the latched NDJSON sink error, if any. Safe on nil.
+func (t *Tracer) SinkErr() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.ndjsonErr
+}
+
+// Trace is one request's span collection. A nil *Trace is the disabled
+// form and all methods no-op.
+type Trace struct {
+	t     *Tracer
+	id    uint64
+	name  string
+	start time.Time
+
+	mu    sync.Mutex
+	attrs []Attr
+	spans []*Span
+	end   time.Time
+	done  bool
+}
+
+// Span is one timed region within a trace. A nil *Span no-ops.
+type Span struct {
+	tr    *Trace
+	name  string
+	lane  int
+	start time.Time
+	end   time.Time
+	ended bool
+	attrs []Attr
+}
+
+// StartTrace opens a new trace. The returned trace must be closed with
+// Finish exactly once; spans started on it after Finish are dropped.
+//
+//helios:hotpath telemetry-disabled hook: a nil receiver must return without allocating
+func (t *Tracer) StartTrace(name string) *Trace {
+	if t == nil {
+		return nil
+	}
+	return t.startTrace(name)
+}
+
+//helios:hotalloc-ok enabled path only, behind StartTrace's nil check; disabled path pinned by TestDisabledPathNoAllocs
+func (t *Tracer) startTrace(name string) *Trace {
+	t.m.tracesStarted.Add(1)
+	t.mu.Lock()
+	t.nextID++
+	id := t.nextID
+	t.mu.Unlock()
+	return &Trace{t: t, id: id, name: name, start: t.clock()}
+}
+
+// ID returns the trace's tracer-unique id (0 for nil).
+func (tr *Trace) ID() uint64 {
+	if tr == nil {
+		return 0
+	}
+	return tr.id
+}
+
+// SetAttr attaches a key/value attribute to the trace itself.
+//
+//helios:hotpath telemetry-disabled hook: a nil receiver must return without allocating
+func (tr *Trace) SetAttr(key, value string) {
+	if tr == nil {
+		return
+	}
+	tr.setAttr(key, value)
+}
+
+//helios:hotalloc-ok enabled path only, behind SetAttr's nil check
+func (tr *Trace) setAttr(key, value string) {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	tr.attrs = append(tr.attrs, Attr{Key: key, Value: value})
+}
+
+// Start opens a span on lane 0, the request's own sequential timeline.
+//
+//helios:hotpath telemetry-disabled hook: a nil receiver must return without allocating
+func (tr *Trace) Start(name string) *Span {
+	if tr == nil {
+		return nil
+	}
+	return tr.startSpan(name, 0)
+}
+
+// StartLane opens a span on an explicit lane (Chrome trace "tid").
+// Lane 0 is the request timeline; core.RunCells uses lane 1+worker so
+// parallel suites render as a per-worker utilization timeline.
+//
+//helios:hotpath telemetry-disabled hook: a nil receiver must return without allocating
+func (tr *Trace) StartLane(name string, lane int) *Span {
+	if tr == nil {
+		return nil
+	}
+	return tr.startSpan(name, lane)
+}
+
+//helios:hotalloc-ok enabled path only, behind Start/StartLane's nil check
+func (tr *Trace) startSpan(name string, lane int) *Span {
+	now := tr.t.clock()
+	tr.mu.Lock()
+	if tr.done {
+		tr.mu.Unlock()
+		tr.t.m.spansDropped.Add(1)
+		return nil
+	}
+	sp := &Span{tr: tr, name: name, lane: lane, start: now}
+	tr.spans = append(tr.spans, sp)
+	tr.mu.Unlock()
+	tr.t.m.spansStarted.Add(1)
+	return sp
+}
+
+// SetAttr attaches a string attribute to the span.
+//
+//helios:hotpath telemetry-disabled hook: a nil receiver must return without allocating
+func (sp *Span) SetAttr(key, value string) {
+	if sp == nil {
+		return
+	}
+	sp.setAttr(key, value)
+}
+
+// SetInt attaches an integer attribute; the formatting happens only on
+// the enabled path, behind the nil check.
+//
+//helios:hotpath telemetry-disabled hook: a nil receiver must return without allocating
+func (sp *Span) SetInt(key string, v int64) {
+	if sp == nil {
+		return
+	}
+	sp.setInt(key, v)
+}
+
+//helios:hotalloc-ok enabled path only, behind SetInt's nil check; the int formats only when a span exists
+func (sp *Span) setInt(key string, v int64) {
+	sp.setAttr(key, strconv.FormatInt(v, 10))
+}
+
+// SetBool attaches a boolean attribute.
+//
+//helios:hotpath telemetry-disabled hook: a nil receiver must return without allocating
+func (sp *Span) SetBool(key string, v bool) {
+	if sp == nil {
+		return
+	}
+	if v {
+		sp.setAttr(key, "true")
+	} else {
+		sp.setAttr(key, "false")
+	}
+}
+
+//helios:hotalloc-ok enabled path only, behind the span nil checks
+func (sp *Span) setAttr(key, value string) {
+	sp.tr.mu.Lock()
+	defer sp.tr.mu.Unlock()
+	sp.attrs = append(sp.attrs, Attr{Key: key, Value: value})
+}
+
+// End closes the span. Ending twice is counted (SpanDoubleEnds) and
+// otherwise ignored; the first End's timestamp wins.
+//
+//helios:hotpath telemetry-disabled hook: a nil receiver must return without allocating
+func (sp *Span) End() {
+	if sp == nil {
+		return
+	}
+	sp.endSpan()
+}
+
+//helios:hotalloc-ok enabled path only, behind End's nil check
+func (sp *Span) endSpan() {
+	now := sp.tr.t.clock()
+	sp.tr.mu.Lock()
+	if sp.ended {
+		sp.tr.mu.Unlock()
+		sp.tr.t.m.spanDoubleEnds.Add(1)
+		return
+	}
+	sp.ended = true
+	sp.end = now
+	sp.tr.mu.Unlock()
+	sp.tr.t.m.spansEnded.Add(1)
+}
+
+// Finish closes the trace: the trace's end time is stamped, span
+// durations are folded into the tracer's histograms, the trace joins
+// the retention ring, and the NDJSON sink (if any) receives the span
+// log. Finishing twice is a no-op. Spans still open at Finish stay
+// open — Balance exposes the leak — and export clamps their duration
+// to the trace end.
+//
+//helios:hotpath telemetry-disabled hook: a nil receiver must return without allocating
+func (tr *Trace) Finish() {
+	if tr == nil {
+		return
+	}
+	tr.finish()
+}
+
+//helios:hotalloc-ok enabled path only, behind Finish's nil check
+func (tr *Trace) finish() {
+	now := tr.t.clock()
+	tr.mu.Lock()
+	if tr.done {
+		tr.mu.Unlock()
+		return
+	}
+	tr.done = true
+	tr.end = now
+	tr.mu.Unlock()
+	tr.t.m.tracesFinished.Add(1)
+	tr.t.retire(tr)
+}
+
+// retire folds a just-finished trace into the tracer-level aggregates.
+func (t *Tracer) retire(tr *Trace) {
+	info := tr.Snapshot()
+	t.mu.Lock()
+	for i := range info.Spans {
+		sp := &info.Spans[i]
+		h := t.hist[sp.Name]
+		if h == nil {
+			h = &stats.Histogram{}
+			t.hist[sp.Name] = h
+		}
+		h.Observe(uint64(sp.DurUS))
+	}
+	rh := t.hist[info.Name]
+	if rh == nil {
+		rh = &stats.Histogram{}
+		t.hist[info.Name] = rh
+	}
+	rh.Observe(uint64(info.DurUS))
+	if t.ringCap > 0 {
+		if len(t.ring) >= t.ringCap {
+			n := copy(t.ring, t.ring[1:])
+			t.ring = t.ring[:n]
+			t.m.ringEvicted.Add(1)
+		}
+		t.ring = append(t.ring, tr)
+	}
+	sink := t.ndjson
+	broken := t.ndjsonErr != nil
+	t.mu.Unlock()
+	if sink != nil && !broken {
+		if err := writeNDJSON(sink, info); err != nil {
+			t.m.exportErrors.Add(1)
+			t.mu.Lock()
+			if t.ndjsonErr == nil {
+				t.ndjsonErr = err
+			}
+			t.mu.Unlock()
+		}
+	}
+}
+
+// Finished snapshots the retention ring, oldest trace first. Safe on
+// nil (empty).
+func (t *Tracer) Finished() []TraceInfo {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	ring := make([]*Trace, len(t.ring))
+	copy(ring, t.ring)
+	t.mu.Unlock()
+	out := make([]TraceInfo, 0, len(ring))
+	for _, tr := range ring {
+		out = append(out, tr.Snapshot())
+	}
+	return out
+}
+
+// ctxKey carries a *Trace through a context. The zero-size key boxes to
+// runtime.zerobase, so context lookups stay allocation-free.
+type ctxKey struct{}
+
+// WithTrace returns a context carrying tr. A nil trace returns ctx
+// unchanged, so the disabled path threads no value and pays nothing.
+//
+//helios:hotpath telemetry-disabled hook: a nil trace must return ctx unchanged without allocating
+func WithTrace(ctx context.Context, tr *Trace) context.Context {
+	if tr == nil {
+		return ctx
+	}
+	//helios:hotalloc-ok enabled path only, behind the nil check; WithValue allocates one context node per enabled request
+	return context.WithValue(ctx, ctxKey{}, tr)
+}
+
+// FromContext returns the trace carried by ctx, or nil. The nil return
+// composes with every other nil-safe method, so call sites never
+// branch on enablement.
+//
+//helios:hotpath must stay allocation-free even on the miss path (zero-size key, no boxing of the result)
+func FromContext(ctx context.Context) *Trace {
+	//helios:hotalloc-ok ctxKey{} is zero-size (boxes to runtime.zerobase) and Context.Value lookups do not allocate; pinned by TestDisabledPathNoAllocs
+	tr, _ := ctx.Value(ctxKey{}).(*Trace)
+	return tr
+}

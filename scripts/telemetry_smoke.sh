@@ -1,0 +1,92 @@
+#!/usr/bin/env bash
+# heliosd telemetry end-to-end smoke: start the server with span tracing
+# on, drive a cached + uncached + observed request mix, then assert the
+# whole observability surface works on real processes:
+#
+#   - GET /metricz Prometheus exposition passes the repo's own
+#     promtool-shaped linter (heliosctl metrics -prom -lint)
+#   - heliosctl metrics -watch polls without breaking
+#   - the obs artifact a client fetches (heliosctl run -obs) is
+#     byte-identical to heliossim's output for the same
+#     workload/config/budget — the replay-determinism contract
+#   - GET /tracez yields a Perfetto-loadable Chrome trace with spans
+#     (kept as $WORK/tracez.json; CI uploads it as a build artifact)
+#   - per-request trace files land in -trace-dir
+#   - the server still drains cleanly with telemetry enabled
+#
+# Mirrors the CI telemetry-smoke job; run locally via `make telemetry-smoke`.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+ADDR="127.0.0.1:${HELIOSD_TELEMETRY_SMOKE_PORT:-18081}"
+BASE="http://$ADDR"
+WORK="${TELEMETRY_SMOKE_WORK:-$(mktemp -d)}"
+mkdir -p "$WORK"
+trap 'kill "$SERVER_PID" 2>/dev/null || true' EXIT
+
+echo "== build"
+go build -o "$WORK/heliosd" ./cmd/heliosd
+go build -o "$WORK/heliosctl" ./cmd/heliosctl
+go build -o "$WORK/heliossim" ./cmd/heliossim
+CTL=("$WORK/heliosctl" -server "$BASE")
+
+echo "== start heliosd (telemetry on)"
+"$WORK/heliosd" -addr "$ADDR" -insts 5000 -trace-dir "$WORK/traces" \
+  -span-log "$WORK/spans.ndjson" -drain 30s 2>"$WORK/heliosd.log" &
+SERVER_PID=$!
+"${CTL[@]}" health -wait 15s >/dev/null
+echo "ok: healthy"
+
+echo "== request mix: uncached, cached, observed"
+"${CTL[@]}" run -workload crc32 -mode Helios | grep -q '"cached":false' \
+  || { echo "FAIL: first run claims cached"; exit 1; }
+"${CTL[@]}" run -workload crc32 -mode Helios | grep -q '"cached":true' \
+  || { echo "FAIL: repeat run was not a cache hit"; exit 1; }
+"${CTL[@]}" run -workload sha -mode NoFusion -obs pipeview -obs-out "$WORK/server.pipeview" \
+  | grep -q '"sha256"' || { echo "FAIL: obs run returned no artifact digest"; exit 1; }
+echo "ok: mix served"
+
+echo "== obs artifact is byte-identical to heliossim"
+"$WORK/heliossim" -workload sha -mode NoFusion -insts 5000 \
+  -pipeview "$WORK/local.pipeview" >/dev/null
+cmp "$WORK/server.pipeview" "$WORK/local.pipeview" \
+  || { echo "FAIL: server artifact differs from heliossim -pipeview"; exit 1; }
+echo "ok: byte-identical pipeview ($(wc -c <"$WORK/server.pipeview") bytes)"
+
+echo "== Prometheus exposition lints clean"
+"${CTL[@]}" metrics -prom -lint >"$WORK/metricz.prom"
+grep -q '^heliosd_requests_admitted_total ' "$WORK/metricz.prom" \
+  || { echo "FAIL: exposition lacks admitted counter"; exit 1; }
+grep -q '^heliosd_span_duration_microseconds_bucket' "$WORK/metricz.prom" \
+  || { echo "FAIL: exposition lacks span histograms"; exit 1; }
+grep -q '^heliosd_request_duration_microseconds_bucket' "$WORK/metricz.prom" \
+  || { echo "FAIL: exposition lacks latency histogram"; exit 1; }
+echo "ok: exposition linted"
+
+echo "== metrics -watch polls"
+"${CTL[@]}" metrics -watch 200ms -count 2 >"$WORK/watch.json"
+[ "$(grep -c '"latency_us"' "$WORK/watch.json")" -eq 2 ] \
+  || { echo "FAIL: -watch did not produce 2 samples"; exit 1; }
+echo "ok: watch mode"
+
+echo "== tracez: Perfetto-loadable span trace"
+"${CTL[@]}" trace -out "$WORK/tracez.json"
+grep -q '"traceEvents"' "$WORK/tracez.json" || { echo "FAIL: no traceEvents"; exit 1; }
+grep -q '"ph":"X"' "$WORK/tracez.json" || { echo "FAIL: no complete span events"; exit 1; }
+for span in admission cache_read batch_wait record replay; do
+  grep -q "\"name\":\"$span\"" "$WORK/tracez.json" \
+    || { echo "FAIL: tracez lacks a $span span"; exit 1; }
+done
+N_TRACE_FILES="$(ls "$WORK/traces" | wc -l)"
+[ "$N_TRACE_FILES" -ge 3 ] || { echo "FAIL: trace-dir has $N_TRACE_FILES files, want >=3"; exit 1; }
+grep -q '"type":"span"' "$WORK/spans.ndjson" || { echo "FAIL: span log is empty"; exit 1; }
+echo "ok: tracez + $N_TRACE_FILES trace files + span log"
+
+echo "== SIGTERM drains cleanly with telemetry on"
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID" || { echo "FAIL: heliosd exited non-zero"; cat "$WORK/heliosd.log"; exit 1; }
+grep -q 'drained clean' "$WORK/heliosd.log" || { echo "FAIL: no clean-drain log line"; exit 1; }
+echo "ok: clean drain"
+
+echo "telemetry smoke: ALL OK (trace artifact: $WORK/tracez.json)"
