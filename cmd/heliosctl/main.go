@@ -15,9 +15,19 @@
 //	workloads
 //	health    [-wait 30s]   poll /healthz until the server answers
 //	ready
-//	metrics   [-watch 2s [-count N]] [-prom [-lint]]
-//	trace     [-out trace.json]   fetch /tracez (Perfetto-loadable)
+//	metrics   [-watch 2s [-count N]] [-prom|-om [-lint]]
+//	trace     [-id N] [-out trace.json]   fetch /tracez (Perfetto-loadable)
+//	triage    [-outcome error] [-workload W] [-min-ms 50] [-limit N]
+//	          [-follow 2s] [-json]   read the flight recorder
 //	raw       -path /v1/run -body '{"workload":"crc32"}' [-expect 200]
+//
+// triage is the incident entry point: it reads heliosd's always-on
+// flight recorder (/debugz/requests), filters to the interesting
+// requests, and prints one line per request including the retained
+// trace id — which `heliosctl trace -id N` then fetches. metrics -om
+// fetches the OpenMetrics exposition whose histogram buckets carry
+// exemplars deep-linking into the same traces; with -lint, every
+// exemplar's trace_id is verified to resolve against /tracez.
 //
 // raw sends an arbitrary body without retries — the smoke harness uses
 // it to assert the typed 400/413 responses for hostile requests.
@@ -34,6 +44,7 @@ import (
 	"io"
 	"math/rand/v2"
 	"net/http"
+	"net/url"
 	"os"
 	"strconv"
 	"strings"
@@ -53,7 +64,7 @@ func main() {
 	retries := flag.Int("retries", 5, "max retries for retryable failures (429/5xx/transport)")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
-			"usage: heliosctl [-server URL] {run|suite|diff|workloads|health|ready|metrics|raw} [flags]\n")
+			"usage: heliosctl [-server URL] {run|suite|diff|workloads|health|ready|metrics|trace|triage|raw} [flags]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -80,6 +91,8 @@ func main() {
 		cmdMetrics(c, args)
 	case "trace":
 		cmdTrace(c, args)
+	case "triage":
+		cmdTriage(c, args)
 	case "raw":
 		cmdRaw(c, args)
 	default:
@@ -269,28 +282,44 @@ func writeArtifact(a *serve.Artifact, path string) {
 		len(data), a.Kind, path)
 }
 
-// cmdMetrics fetches /metricz once or in -watch mode, in JSON or
-// Prometheus form; -lint runs the repo's exposition linter over the
-// Prometheus output and fails on the first violation (the CI smoke
-// job's promtool stand-in).
+// cmdMetrics fetches /metricz once or in -watch mode, in JSON,
+// Prometheus 0.0.4 (-prom) or OpenMetrics (-om) form; -lint runs the
+// repo's exposition linter over the text output and fails on the first
+// violation (the CI smoke job's promtool stand-in). In -om mode the
+// lint additionally resolves every exemplar's trace_id against
+// /tracez?id=, so a dangling /metricz→/tracez deep link is an error.
 func cmdMetrics(c *client, args []string) {
 	fs := flag.NewFlagSet("metrics", flag.ExitOnError)
 	watch := fs.Duration("watch", 0, "poll /metricz at this interval (0 = fetch once)")
 	count := fs.Int("count", 0, "with -watch: stop after this many samples (0 = until interrupted)")
 	prom := fs.Bool("prom", false, "fetch the Prometheus text exposition instead of JSON")
-	lint := fs.Bool("lint", false, "with -prom: lint the exposition, fail on violations")
+	om := fs.Bool("om", false, "fetch the OpenMetrics exposition (histogram buckets carry trace exemplars)")
+	lint := fs.Bool("lint", false, "with -prom/-om: lint the exposition, fail on violations")
 	fs.Parse(args)
-	if *lint && !*prom {
-		fatalf("metrics: -lint requires -prom")
+	if *prom && *om {
+		fatalf("metrics: -prom and -om are mutually exclusive")
+	}
+	if *lint && !*prom && !*om {
+		fatalf("metrics: -lint requires -prom or -om")
 	}
 	path := "/metricz?format=json"
-	if *prom {
+	switch {
+	case *prom:
 		path = "/metricz?format=prometheus"
+	case *om:
+		path = "/metricz?format=openmetrics"
 	}
 	sample := func() {
 		status, body := c.getRetry(path)
 		if *lint && status == 200 {
-			if err := telemetry.LintExposition(bytes.NewReader(body)); err != nil {
+			opts := telemetry.LintOptions{OpenMetrics: *om}
+			if *om {
+				opts.ResolveTrace = func(traceID string) bool {
+					st, _ := c.get("/tracez?id=" + url.QueryEscape(traceID))
+					return st == 200
+				}
+			}
+			if err := telemetry.LintExpositionOptions(bytes.NewReader(body), opts); err != nil {
 				fatalf("metrics: exposition lint: %v", err)
 			}
 			fmt.Fprintln(os.Stderr, "heliosctl: exposition lint clean")
@@ -311,12 +340,18 @@ func cmdMetrics(c *client, args []string) {
 }
 
 // cmdTrace fetches the server's retained span traces (GET /tracez) as
-// Chrome trace-event JSON, to stdout or a file for Perfetto.
+// Chrome trace-event JSON, to stdout or a file for Perfetto. -id
+// narrows to the one trace a triage line or /metricz exemplar named.
 func cmdTrace(c *client, args []string) {
 	fs := flag.NewFlagSet("trace", flag.ExitOnError)
 	out := fs.String("out", "", "write the trace JSON to this file (default: stdout)")
+	id := fs.Uint64("id", 0, "fetch only this trace id (0 = the whole retained ring)")
 	fs.Parse(args)
-	status, body := c.getRetry("/tracez")
+	path := "/tracez"
+	if *id != 0 {
+		path += "?id=" + strconv.FormatUint(*id, 10)
+	}
+	status, body := c.getRetry(path)
 	if status != 200 || *out == "" {
 		emit(status, body)
 		return
@@ -325,6 +360,108 @@ func cmdTrace(c *client, args []string) {
 		fatalf("write trace: %v", err)
 	}
 	fmt.Fprintf(os.Stderr, "heliosctl: wrote %d-byte trace to %s (open in Perfetto)\n", len(body), *out)
+}
+
+// cmdTriage reads heliosd's flight recorder (/debugz/requests): one
+// line per recent request with outcome, cache verdict, duration,
+// sampling verdict and — when the tail sampler retained the trace — the
+// id `heliosctl trace -id` resolves. -follow turns it into a tail -f
+// over the ring, using the server's next_after cursor so entries are
+// printed exactly once.
+func cmdTriage(c *client, args []string) {
+	fs := flag.NewFlagSet("triage", flag.ExitOnError)
+	outcome := fs.String("outcome", "", `filter: "ok", "error" (any failure), or one kind ("overload", "engine-fault", ...)`)
+	workload := fs.String("workload", "", "filter by workload name")
+	minMs := fs.Float64("min-ms", 0, "filter: only requests at least this slow")
+	limit := fs.Int("limit", 0, "keep only the newest N matching entries (0 = all)")
+	follow := fs.Duration("follow", 0, "poll for new entries at this interval (0 = fetch once)")
+	jsonOut := fs.Bool("json", false, "print the raw JSON page instead of the line format")
+	fs.Parse(args)
+
+	page := func(after uint64) (entries []serve.RequestSummary, next uint64, raw []byte) {
+		q := url.Values{}
+		if *outcome != "" {
+			q.Set("outcome", *outcome)
+		}
+		if *workload != "" {
+			q.Set("workload", *workload)
+		}
+		if *minMs > 0 {
+			q.Set("min_ms", strconv.FormatFloat(*minMs, 'f', -1, 64))
+		}
+		if *limit > 0 {
+			q.Set("limit", strconv.Itoa(*limit))
+		}
+		if after > 0 {
+			q.Set("after", strconv.FormatUint(after, 10))
+		}
+		status, body := c.getRetry("/debugz/requests?" + q.Encode())
+		if status != 200 {
+			emit(status, body)
+			os.Exit(1)
+		}
+		var p struct {
+			Requests  []serve.RequestSummary `json:"requests"`
+			NextAfter uint64                 `json:"next_after"`
+		}
+		if err := json.Unmarshal(body, &p); err != nil {
+			fatalf("triage: decode /debugz/requests: %v", err)
+		}
+		return p.Requests, p.NextAfter, body
+	}
+
+	var after uint64
+	for {
+		entries, next, raw := page(after)
+		if *jsonOut {
+			if after == 0 || len(entries) > 0 {
+				os.Stdout.Write(append(bytes.TrimRight(raw, "\n"), '\n'))
+			}
+		} else {
+			for _, e := range entries {
+				fmt.Println(triageLine(e))
+			}
+		}
+		if *follow <= 0 {
+			return
+		}
+		if next > after {
+			after = next
+		}
+		time.Sleep(*follow)
+	}
+}
+
+// triageLine renders one flight-recorder entry for humans; fields a
+// request never touched print as "-".
+func triageLine(e serve.RequestSummary) string {
+	//helios:nondeterminism-ok rendering a server-supplied wall timestamp
+	ts := time.UnixMicro(e.TimeUnixUS).UTC().Format("15:04:05.000")
+	target := e.Workload
+	if target != "" && e.Mode != "" {
+		target += "/" + e.Mode
+	}
+	if target == "" {
+		target = "-"
+	}
+	cache := e.Cache
+	if cache == "" {
+		cache = "-"
+	}
+	verdict := "-"
+	if e.Policy != "" {
+		if e.Sampled {
+			verdict = "keep/" + e.Policy
+		} else {
+			verdict = "drop"
+		}
+	}
+	trace := "-"
+	if e.TraceID != 0 {
+		trace = strconv.FormatUint(e.TraceID, 10)
+	}
+	return fmt.Sprintf("#%-5d %s %-4s %-14s %-20s %-13s cache=%-9s %9.2fms %-12s trace=%s",
+		e.Seq, ts, e.Method, e.Path, target, e.Outcome, cache, float64(e.DurUS)/1000, verdict, trace)
 }
 
 func cmdSuite(c *client, args []string) {

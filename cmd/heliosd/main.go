@@ -10,14 +10,18 @@
 //	heliosd -addr :8080
 //	heliosd -addr :8080 -queue 32 -deadline 15s -batch-size 16
 //	heliosd -addr :8080 -manifest-dir /var/lib/helios/manifests
+//	heliosd -addr :8080 -sample -cache-dir /var/lib/helios/cache
 //
 // Endpoints:
 //
-//	POST /v1/run        one workload×config simulation (obs field → artifact)
-//	POST /v1/suite      a workload×mode matrix
-//	POST /v1/diff       a rendered differential report
-//	GET  /v1/workloads  the registered workload catalogue
-//	GET  /healthz /readyz /metricz (JSON or Prometheus) /tracez
+//	POST /v1/run           one workload×config simulation (obs field → artifact)
+//	POST /v1/suite         a workload×mode matrix
+//	POST /v1/diff          a rendered differential report
+//	GET  /v1/workloads     the registered workload catalogue
+//	GET  /healthz /readyz  liveness and readiness
+//	GET  /metricz          JSON, Prometheus 0.0.4 or OpenMetrics (exemplars)
+//	GET  /tracez           retained traces (?id= for one — the exemplar deep link)
+//	GET  /debugz/requests  the flight recorder (heliosctl triage reads this)
 //
 // On SIGTERM/SIGINT the server stops admitting work (503 draining),
 // finishes every in-flight request within -drain, flushes manifests,
@@ -37,6 +41,7 @@ import (
 
 	"helios/internal/core"
 	"helios/internal/serve"
+	"helios/internal/telemetry/sampling"
 )
 
 func main() {
@@ -60,6 +65,16 @@ func main() {
 		traceDir    = flag.String("trace-dir", "", "write one Chrome trace-event JSON file per finished request into this directory")
 		artifactDir = flag.String("artifact-dir", "", "write /v1/run obs artifacts as files here instead of inline base64")
 		spanLog     = flag.String("span-log", "", "append the NDJSON span stream to this file")
+
+		cacheDir   = flag.String("cache-dir", "", "warm the result cache from this manifest directory at boot, and write completed runs back into it")
+		flightSize = flag.Int("flight", serve.DefaultFlightSize, "flight-recorder capacity (recent request summaries on GET /debugz/requests)")
+
+		sample        = flag.Bool("sample", false, "tail-based trace sampling: keep errors, tail-latency outliers, rare spans and a rate-limited healthy budget instead of every trace")
+		sampleSeed    = flag.Uint64("sample-seed", 1, "seed for the deterministic probabilistic floor")
+		sampleFloor   = flag.Float64("sample-floor", 0.01, "fraction of all traces the probabilistic floor keeps regardless of other policies")
+		sampleRate    = flag.Float64("sample-rate", 25, "healthy-traffic retention budget, traces per second")
+		sampleBurst   = flag.Int("sample-burst", 50, "healthy-traffic retention burst")
+		sampleSlowPct = flag.Int("sample-slow-pct", 99, "adaptive latency percentile; slower traces are kept as tail outliers")
 	)
 	flag.Parse()
 	cfg := serve.Config{
@@ -77,7 +92,21 @@ func main() {
 		TraceRing:       *traceRing,
 		TraceDir:        *traceDir,
 		ArtifactDir:     *artifactDir,
+		CacheDir:        *cacheDir,
+		FlightSize:      *flightSize,
 		Logf:            logf,
+	}
+	if *sample {
+		// The explicit chain mirrors sampling.Default but exposes the
+		// floor/rate/percentile knobs; the policy algebra is documented in
+		// DESIGN.md §17.
+		cfg.Sampler = sampling.NewChain(
+			sampling.Errors(),
+			sampling.SlowTail(*sampleSlowPct, 64),
+			sampling.SpanBoost(sampling.PrioSpan, "record", "degrade"),
+			sampling.Limit(sampling.All(), *sampleRate, *sampleBurst),
+			sampling.Floor(*sampleFloor, *sampleSeed),
+		)
 	}
 	if *spanLog != "" {
 		f, err := os.OpenFile(*spanLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
@@ -104,6 +133,7 @@ func run(addr string, drainBudget time.Duration, cfg serve.Config) error {
 		{"manifest dir", cfg.ManifestDir},
 		{"trace dir", cfg.TraceDir},
 		{"artifact dir", cfg.ArtifactDir},
+		{"cache dir", cfg.CacheDir},
 	} {
 		if d.path == "" {
 			continue

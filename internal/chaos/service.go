@@ -97,6 +97,26 @@ func AuditedServiceCampaign(ctx context.Context, clients, perClient int, timeout
 	return rep
 }
 
+// Audits combines independent audit hooks into the single function
+// AuditedServiceCampaign accepts, preserving hook order and flattening
+// their findings. Nil hooks are skipped, so call sites can list
+// conditionally-armed audits without branching:
+//
+//	chaos.AuditedServiceCampaign(ctx, clients, n, timeout, do,
+//	    chaos.Audits(balanceAudit, samplingAudit, flightAudit))
+func Audits(hooks ...func() []error) func() []error {
+	return func() []error {
+		var errs []error
+		for _, hook := range hooks {
+			if hook == nil {
+				continue
+			}
+			errs = append(errs, hook()...)
+		}
+		return errs
+	}
+}
+
 // watchdogCall runs one `do` invocation under a panic recovery and a
 // hang watchdog. On timeout the request goroutine is abandoned (its
 // context is cancelled, and its eventual result is discarded) — exactly

@@ -35,6 +35,7 @@ import (
 	"helios/internal/fusion"
 	"helios/internal/obs"
 	"helios/internal/ooo"
+	"helios/internal/telemetry"
 	"helios/internal/trace"
 	"helios/internal/workloads"
 )
@@ -401,14 +402,26 @@ func (s *Suite) replayDegrade(ctx context.Context, w workloads.Workload, cfg ooo
 	if runErr == nil || isCtxErr(runErr) {
 		return r, runErr
 	}
+	// The degrade span marks the rare repair path in the request's trace
+	// — rare enough that heliosd's tail sampler boosts traces carrying it
+	// (sampling.SpanBoost), so /tracez keeps evidence of degradations
+	// even under heavy healthy traffic.
+	sp := telemetry.FromContext(ctx).Start("degrade")
+	sp.SetAttr("workload", w.Name)
 	fresh, ferr := s.repairRecording(ctx, w, budget, rec)
 	if ferr != nil {
+		sp.SetBool("err", true)
+		sp.End()
 		return nil, fmt.Errorf("core: %s: replay failed (%w) and live fallback failed: %w", w.Name, runErr, ferr)
 	}
 	if fresh == rec {
 		// Already the repaired recording: the failure is real.
+		sp.SetBool("err", true)
+		sp.End()
 		return r, runErr
 	}
+	sp.SetBool("err", false)
+	sp.End()
 	return s.replay(ctx, w.Name, cfg, fresh, budget)
 }
 

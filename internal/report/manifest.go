@@ -75,6 +75,15 @@ type Manifest struct {
 	Build         BuildInfo
 	Config        ooo.Config
 	Stats         ooo.Stats
+	// ResultKey, Budget and Engine are stamped by heliosd (optional —
+	// absent from manifests written by heliossim or older builds).
+	// Together they make a manifest directory double as a warm-start
+	// index for the service's content-addressed result cache: ResultKey
+	// must reproduce from (Workload, Config, Budget, Engine), so a
+	// reader can verify an entry before trusting it.
+	ResultKey string `json:",omitempty"`
+	Budget    uint64 `json:",omitempty"`
+	Engine    string `json:",omitempty"`
 }
 
 // NewManifest assembles a manifest for one finished run, stamping the

@@ -150,6 +150,10 @@ const (
 	ErrDeadline ErrKind = "deadline"
 	// ErrCanceled: the client went away mid-request.
 	ErrCanceled ErrKind = "canceled"
+	// ErrNotFound: the referenced resource does not exist — e.g. a
+	// /tracez?id= for a trace the sampler dropped or the ring evicted.
+	// Not retryable.
+	ErrNotFound ErrKind = "not-found"
 	// ErrEngine: the simulation engine faulted; Engine carries the full
 	// structured *ooo.SimError crash dump. Retryable — the degradation
 	// path repairs corrupt recordings, so a retry usually succeeds.
@@ -190,6 +194,8 @@ func (e *Error) HTTPStatus() int {
 		return 504
 	case ErrCanceled:
 		return 499 // client closed request (nginx convention)
+	case ErrNotFound:
+		return 404
 	default:
 		return 500
 	}

@@ -100,6 +100,23 @@ func (c *resultCache) do(ctx context.Context, key string, fn func() (*core.Resul
 	return res, false, coalesced, err
 }
 
+// warm installs a result restored from disk, reporting whether it was
+// stored. Boot-time only, before traffic: a live entry (or in-flight
+// run) for the key wins over the disk copy, and warmed entries never
+// count as hits or misses until a request touches them.
+func (c *resultCache) warm(key string, res *core.Result) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, exists := c.entries[key]; exists {
+		return false
+	}
+	if _, inflight := c.flight[key]; inflight {
+		return false
+	}
+	c.entries[key] = &cacheEntry{res: res}
+	return true
+}
+
 // stats snapshots the cache counters.
 func (c *resultCache) stats() (entries int, hits, misses, coalesced uint64) {
 	c.mu.Lock()

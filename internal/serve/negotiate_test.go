@@ -1,0 +1,85 @@
+package serve
+
+import (
+	"io"
+	"net/http"
+	"testing"
+)
+
+// TestNegotiateMetrics pins the documented /metricz format-resolution
+// precedence (the ISSUE satellite): an explicit ?format= wins outright
+// and misspellings are typed 400s; otherwise RFC 9110 quality factors
+// decide, with deterministic wildcard mapping, specificity tie-breaks,
+// and the om > prom > json server preference on exact ties.
+func TestNegotiateMetrics(t *testing.T) {
+	cases := []struct {
+		name, format, accept string
+		want                 metricsFormat
+		wantErr              bool
+	}{
+		{"no header defaults to json", "", "", formatJSON, false},
+		{"format json", "json", "", formatJSON, false},
+		{"format prometheus", "prometheus", "", formatProm, false},
+		{"format text alias", "text", "", formatProm, false},
+		{"format openmetrics", "openmetrics", "", formatOM, false},
+		{"format overrides accept", "json", "text/plain", formatJSON, false},
+		{"unknown format is a typed 400", "promtheus", "", formatJSON, true},
+
+		{"curl default */*", "", "*/*", formatJSON, false},
+		{"exact text/plain", "", "text/plain", formatProm, false},
+		{"exact openmetrics", "", "application/openmetrics-text", formatOM, false},
+		{"exact json", "", "application/json", formatJSON, false},
+		{"text wildcard", "", "text/*", formatProm, false},
+		{"application wildcard", "", "application/*", formatJSON, false},
+
+		{"higher q wins", "", "application/openmetrics-text;q=0.9, text/plain;q=1.0", formatProm, false},
+		{"q demotes below the wildcard", "", "text/plain;q=0.8, */*;q=0.9", formatJSON, false},
+		{"specificity breaks q ties", "", "text/*;q=0.9, */*;q=0.9", formatProm, false},
+		{"server preference breaks exact ties", "", "text/plain, application/openmetrics-text", formatOM, false},
+		{"prometheus scrape header", "", "application/openmetrics-text;version=1.0.0;q=0.5,text/plain;version=0.0.4;q=0.3", formatOM, false},
+
+		{"q=0 excludes the type", "", "text/plain;q=0", formatJSON, false},
+		{"all offers at q=0 fall back to json", "", "text/plain;q=0, application/openmetrics-text;q=0", formatJSON, false},
+		{"malformed q ignores the element", "", "text/plain;q=banana", formatJSON, false},
+		{"malformed element does not poison the rest", "", "text/plain;q=banana, application/openmetrics-text", formatOM, false},
+		{"unknown types are ignored", "", "application/xml, image/png", formatJSON, false},
+		{"whitespace and case tolerated", "", " TEXT/PLAIN ; q=0.7 , application/json;q=0.2", formatProm, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := negotiateMetrics(tc.format, tc.accept)
+			if (err != nil) != tc.wantErr {
+				t.Fatalf("negotiateMetrics(%q, %q) err = %v, wantErr %t", tc.format, tc.accept, err, tc.wantErr)
+			}
+			if err != nil {
+				if err.Kind != ErrBadRequest {
+					t.Fatalf("error kind = %s, want %s", err.Kind, ErrBadRequest)
+				}
+				return
+			}
+			if got != tc.want {
+				t.Errorf("negotiateMetrics(%q, %q) = %d, want %d", tc.format, tc.accept, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestMetriczUnknownFormatTyped drives the misspelled-format rule
+// through the HTTP surface: the response must be the taxonomy's typed
+// 400, not a silent fallback exposition a scraper would misparse.
+func TestMetriczUnknownFormatTyped(t *testing.T) {
+	_, ts := newTestServer(t, testConfig())
+	resp, err := http.Get(ts.URL + "/metricz?format=promtheus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Fatalf("status = %d, want 400 (%s)", resp.StatusCode, body)
+	}
+	e := decodeError(t, body)
+	if e.Kind != ErrBadRequest {
+		t.Errorf("kind = %s, want %s", e.Kind, ErrBadRequest)
+	}
+}

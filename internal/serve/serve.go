@@ -13,7 +13,7 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
-	"strings"
+	"strconv"
 	"sync"
 	"time"
 
@@ -71,6 +71,18 @@ type Config struct {
 	// SpanLog, when non-nil (and Telemetry is on), receives the NDJSON
 	// span stream.
 	SpanLog io.Writer
+	// Sampler, when non-nil (and Telemetry is on), makes the tail-based
+	// retention decision for every finished trace (DESIGN.md §17). Nil
+	// retains every finished trace FIFO — the pre-sampling behavior.
+	Sampler telemetry.Sampler
+	// CacheDir, when set, is scanned at boot for manifests written by a
+	// previous heliosd process; every verifiable one warms the result
+	// cache. Completed runs write their manifest there too, so the next
+	// restart warms from this run's results.
+	CacheDir string
+	// FlightSize bounds the always-on flight recorder behind
+	// /debugz/requests (0 = DefaultFlightSize).
+	FlightSize int
 	// Logf receives operational log lines (nil = silent).
 	Logf func(format string, args ...any)
 }
@@ -118,6 +130,12 @@ type Server struct {
 	// tel is nil unless Config.Telemetry — the nil pointer IS the
 	// disabled state, so the request path never branches on a flag.
 	tel *telemetry.Tracer
+	// flight is the always-on request flight recorder (/debugz/requests);
+	// unlike traces it records with telemetry off too.
+	flight *flightRecorder
+	// warmEntries counts results restored from CacheDir at boot; written
+	// once before traffic, read-only after.
+	warmEntries int
 
 	wg sync.WaitGroup
 
@@ -127,6 +145,10 @@ type Server struct {
 	maxInflight int
 	c           Counters
 	latency     stats.Histogram // completed-request wall time, microseconds
+	// latencyEx holds per-bucket exemplar candidates for the
+	// request-duration histogram; exposition filters them through
+	// Tracer.Retained so /metricz only links to traces /tracez can serve.
+	latencyEx telemetry.ExemplarSet
 }
 
 // New builds a server rooted at ctx: the context bounds background work
@@ -141,16 +163,21 @@ func New(ctx context.Context, cfg Config) *Server {
 	suite := core.NewSuite(cfg.DefaultInsts)
 	var tel *telemetry.Tracer
 	if cfg.Telemetry {
-		tel = telemetry.New(telemetry.Options{Ring: cfg.TraceRing, NDJSON: cfg.SpanLog})
+		tel = telemetry.New(telemetry.Options{Ring: cfg.TraceRing, NDJSON: cfg.SpanLog, Sampler: cfg.Sampler})
 	}
-	return &Server{
+	s := &Server{
 		cfg:     cfg,
 		suite:   suite,
 		cache:   newResultCache(),
 		batch:   newBatcher(ctx, suite, cfg.MaxBatch, cfg.BatchWait),
 		baseCtx: ctx,
 		tel:     tel,
+		flight:  newFlightRecorder(cfg.FlightSize),
 	}
+	if cfg.CacheDir != "" {
+		s.warmEntries = s.warmCache(cfg.CacheDir)
+	}
+	return s
 }
 
 // Suite exposes the underlying record/replay cache — the chaos soak
@@ -193,8 +220,17 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metricz", s.handleMetricz)
 	mux.HandleFunc("GET /tracez", s.handleTracez)
+	mux.HandleFunc("GET /debugz/requests", s.handleDebugRequests)
 	return mux
 }
+
+// WarmEntries reports how many cached results boot restored from
+// CacheDir (the heliosd_cache_warm_entries gauge).
+func (s *Server) WarmEntries() int { return s.warmEntries }
+
+// FlightSize reports how many summaries the flight recorder currently
+// holds (≤ its capacity — the bound the chaos soak asserts is exact).
+func (s *Server) FlightSize() int { return s.flight.size() }
 
 // Drain stops admission (new API requests get a typed 503) and waits
 // for every in-flight request to finish or ctx to expire. Manifests are
@@ -229,14 +265,21 @@ func (s *Server) api(h func(ctx context.Context, r *http.Request) (any, *Error))
 		// The trace opens before admission so rejected requests trace
 		// too, and finishes after the panic recovery defer has run —
 		// every span opened below is closed on every exit path, which
-		// is exactly the balance contract the chaos soak audits.
+		// is exactly the balance contract the chaos soak audits. The
+		// flight-recorder defer registers first, so (LIFO) it commits
+		// after finishTrace has run the sampler: the summary carries
+		// the tail verdict and, for retained traces, a resolvable id.
+		start := time.Now()
+		fs := &RequestSummary{TimeUnixUS: start.UnixMicro(), Method: r.Method, Path: r.URL.Path}
 		tr := s.tel.StartTrace(r.Method + " " + r.URL.Path)
+		defer s.recordFlight(fs, tr, start)
 		defer s.finishTrace(tr)
 		defer func() {
 			if rec := recover(); rec != nil {
 				s.mu.Lock()
 				s.c.PanicsRecovered++
 				s.mu.Unlock()
+				fs.Outcome = "panic"
 				tr.SetAttr("outcome", "panic")
 				writeError(w, &Error{Kind: ErrInternal,
 					Msg: fmt.Sprintf("recovered handler panic: %v", rec)})
@@ -248,17 +291,19 @@ func (s *Server) api(h func(ctx context.Context, r *http.Request) (any, *Error))
 		if e != nil {
 			adm.SetAttr("rejected", string(e.Kind))
 			adm.End()
+			fs.Outcome = string(e.Kind)
 			tr.SetAttr("outcome", string(e.Kind))
 			writeError(w, e)
 			return
 		}
 		adm.End()
 		t0 := time.Now()
-		defer s.releaseOne(t0)
+		defer s.releaseOne(t0, tr)
 		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
-		resp, e := h(telemetry.WithTrace(r.Context(), tr), r)
+		resp, e := h(withFlight(telemetry.WithTrace(r.Context(), tr), fs), r)
 		if e != nil {
 			s.noteError(e)
+			fs.Outcome = string(e.Kind)
 			tr.SetAttr("outcome", string(e.Kind))
 			writeError(w, e)
 			return
@@ -266,9 +311,27 @@ func (s *Server) api(h func(ctx context.Context, r *http.Request) (any, *Error))
 		s.mu.Lock()
 		s.c.Completed++
 		s.mu.Unlock()
+		fs.Outcome = "ok"
 		tr.SetAttr("outcome", "ok")
 		writeJSON(w, http.StatusOK, resp)
 	}
+}
+
+// recordFlight stamps the summary's duration and the sampler's tail
+// verdict, then commits it to the flight recorder. It runs after
+// finishTrace (defer LIFO), so the verdict is decided; TraceID is set
+// only when the trace actually sits in the retention ring right now,
+// which keeps `heliosctl triage` → `heliosctl trace -id` from dangling.
+func (s *Server) recordFlight(fs *RequestSummary, tr *telemetry.Trace, start time.Time) {
+	fs.DurUS = time.Since(start).Microseconds()
+	if v, ok := tr.Verdict(); ok {
+		fs.Sampled = v.Keep
+		fs.Policy = v.Policy
+		if v.Keep && s.tel.Retained(tr.ID()) {
+			fs.TraceID = tr.ID()
+		}
+	}
+	s.flight.record(fs)
 }
 
 // finishTrace closes a request trace and, when TraceDir is set, exports
@@ -320,11 +383,21 @@ func (s *Server) admitOne() (int, *Error) {
 	return s.inflight, nil
 }
 
-func (s *Server) releaseOne(t0 time.Time) {
+// releaseOne returns the request's admission slot and folds its wall
+// time into the latency histogram. When the request carries a trace the
+// duration also becomes an exemplar candidate — candidate, because the
+// sampler has not run yet (releaseOne precedes finishTrace in the defer
+// stack); exposition filters through Tracer.Retained, so only traces
+// the sampler kept are ever emitted.
+func (s *Server) releaseOne(t0 time.Time, tr *telemetry.Trace) {
 	us := time.Since(t0).Microseconds()
+	id := tr.ID()
 	s.mu.Lock()
 	s.inflight--
 	s.latency.Observe(uint64(us))
+	if id != 0 {
+		s.latencyEx.Observe(uint64(us), id, time.Now().UnixMicro())
+	}
 	s.mu.Unlock()
 	s.wg.Done()
 }
@@ -434,6 +507,11 @@ func (s *Server) handleRun(ctx0 context.Context, r *http.Request) (any, *Error) 
 	tr.SetAttr("workload", name)
 	tr.SetAttr("mode", cfg.Mode.String())
 	tr.SetAttr("key", key)
+	fs := flightFrom(ctx0)
+	if fs != nil {
+		fs.Workload = name
+		fs.Mode = cfg.Mode.String()
+	}
 	ctx, cancel := s.reqCtx(ctx0, req.DeadlineMs)
 	defer cancel()
 
@@ -451,9 +529,19 @@ func (s *Server) handleRun(ctx0 context.Context, r *http.Request) (any, *Error) 
 		return nil, classify(err)
 	}
 	tr.SetAttr("cached", boolStr(cached))
-	if s.cfg.ManifestDir != "" && !cached {
+	if fs != nil {
+		switch {
+		case cached:
+			fs.Cache = "hit"
+		case coalesced:
+			fs.Cache = "coalesced"
+		default:
+			fs.Cache = "miss"
+		}
+	}
+	if s.manifestDirs() != nil && !cached {
 		msp := tr.Start("manifest")
-		s.writeManifest(key, name, cfg, res)
+		s.writeManifest(key, name, cfg, budget, res)
 		msp.End()
 	}
 	return &RunResponse{
@@ -506,10 +594,12 @@ func (s *Server) runObs(ctx context.Context, req *RunRequest, name string, cfg o
 	if e != nil {
 		return nil, e
 	}
-	if s.cfg.ManifestDir != "" {
+	if s.manifestDirs() != nil {
 		msp := tr.Start("manifest")
-		s.writeManifest(key, name, cfg, res)
+		s.writeManifest(key, name, cfg, budget, res)
 		msp.End()
+	}
+	if s.cfg.ManifestDir != "" {
 		art.Manifest = filepath.Join(s.cfg.ManifestDir,
 			fmt.Sprintf("%s-%s-%s.json", name, cfg.Mode, key[:12]))
 	}
@@ -576,20 +666,41 @@ func (s *Server) emitArtifact(ctx context.Context, kind, ext, name string, cfg o
 	return art, nil
 }
 
-// writeManifest records one completed run in the manifest directory.
-// Manifest failures are telemetry, not request failures: the result is
-// already computed and correct.
-func (s *Server) writeManifest(key, name string, cfg ooo.Config, res *core.Result) {
+// manifestDirs lists the directories a completed run's manifest lands
+// in: ManifestDir (the operator-facing archive) and CacheDir (the
+// warm-start index the next boot scans), deduplicated.
+func (s *Server) manifestDirs() []string {
+	var dirs []string
+	if s.cfg.ManifestDir != "" {
+		dirs = append(dirs, s.cfg.ManifestDir)
+	}
+	if s.cfg.CacheDir != "" && s.cfg.CacheDir != s.cfg.ManifestDir {
+		dirs = append(dirs, s.cfg.CacheDir)
+	}
+	return dirs
+}
+
+// writeManifest records one completed run in the manifest directories,
+// stamped with the cache identity (ResultKey/Budget/Engine) warmCache
+// verifies on the next boot. Manifest failures are telemetry, not
+// request failures: the result is already computed and correct.
+func (s *Server) writeManifest(key, name string, cfg ooo.Config, budget uint64, res *core.Result) {
 	m := report.NewManifest(name, cfg.Mode, cfg, res.Stats)
-	path := filepath.Join(s.cfg.ManifestDir, fmt.Sprintf("%s-%s-%s.json", name, cfg.Mode, key[:12]))
+	m.ResultKey = key
+	m.Budget = budget
+	m.Engine = core.EngineVersion()
+	fname := fmt.Sprintf("%s-%s-%s.json", name, cfg.Mode, key[:12])
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if err := m.WriteFile(path); err != nil {
-		s.c.ManifestErrors++
-		s.logf("serve: manifest %s: %v", path, err)
-		return
+	for _, dir := range s.manifestDirs() {
+		path := filepath.Join(dir, fname)
+		if err := m.WriteFile(path); err != nil {
+			s.c.ManifestErrors++
+			s.logf("serve: manifest %s: %v", path, err)
+			continue
+		}
+		s.c.ManifestsWritten++
 	}
-	s.c.ManifestsWritten++
 }
 
 // resolveMatrix validates a workload×mode matrix and returns the
@@ -804,6 +915,10 @@ type metricsSnapshot struct {
 	suite          core.Metrics
 	tracing        telemetry.Metrics
 	spanHists      []telemetry.NamedHistogram
+	sampling       telemetry.SamplingStats
+	spanEx         []telemetry.NamedExemplars
+	latencyEx      telemetry.ExemplarSet
+	warmEntries    int
 }
 
 func (s *Server) snapshotMetrics() metricsSnapshot {
@@ -813,6 +928,9 @@ func (s *Server) snapshotMetrics() metricsSnapshot {
 	snap.suite = s.suite.Metrics()
 	snap.tracing = s.tel.Metrics()
 	snap.spanHists = s.tel.Histograms()
+	snap.sampling = s.tel.Sampling()
+	snap.spanEx = s.tel.SpanExemplars()
+	snap.warmEntries = s.warmEntries
 	s.mu.Lock()
 	snap.draining = s.draining
 	snap.inflight = s.inflight
@@ -820,19 +938,45 @@ func (s *Server) snapshotMetrics() metricsSnapshot {
 	snap.queueDepth = s.cfg.QueueDepth
 	snap.c = s.c
 	snap.latency = s.latency
+	snap.latencyEx = s.latencyEx
 	s.mu.Unlock()
 	return snap
 }
 
-// handleMetricz content-negotiates the metrics surface: the structured
-// JSON document by default, Prometheus text exposition 0.0.4 when the
-// client asks for it (`?format=prometheus`, or an Accept header naming
-// text/plain / openmetrics). `?format=json` always forces JSON, so
-// heliosctl keeps working behind scrape-all proxies.
+// samplingJSON is the /metricz JSON rendering of the sampler's ledger.
+type samplingJSON struct {
+	Kept            uint64            `json:"kept"`
+	Dropped         uint64            `json:"dropped"`
+	Retained        int               `json:"retained"`
+	KeptByPolicy    map[string]uint64 `json:"kept_by_policy,omitempty"`
+	EvictedByPolicy map[string]uint64 `json:"evicted_by_policy,omitempty"`
+}
+
+func policyMap(rows []telemetry.PolicyCount) map[string]uint64 {
+	if len(rows) == 0 {
+		return nil
+	}
+	m := make(map[string]uint64, len(rows))
+	for _, r := range rows {
+		m[r.Policy] = r.Count
+	}
+	return m
+}
+
+// handleMetricz content-negotiates the metrics surface via
+// negotiateMetrics (see its doc comment for the full precedence): the
+// structured JSON document by default, Prometheus text 0.0.4 for
+// classic scrapers, OpenMetrics 1.0.0 — with trace exemplars on the
+// histogram buckets when telemetry is on — for clients that ask for it.
 func (s *Server) handleMetricz(w http.ResponseWriter, r *http.Request) {
+	format, fe := negotiateMetrics(r.URL.Query().Get("format"), r.Header.Get("Accept"))
+	if fe != nil {
+		writeError(w, fe)
+		return
+	}
 	snap := s.snapshotMetrics()
-	if wantsProm(r) {
-		s.writeProm(w, snap)
+	if format != formatJSON {
+		s.writeProm(w, snap, format == formatOM)
 		return
 	}
 	payload := struct {
@@ -843,10 +987,11 @@ func (s *Server) handleMetricz(w http.ResponseWriter, r *http.Request) {
 		QueueDepth  int      `json:"queue_depth"`
 		Server      Counters `json:"server"`
 		Cache       struct {
-			Entries   int    `json:"entries"`
-			Hits      uint64 `json:"hits"`
-			Misses    uint64 `json:"misses"`
-			Coalesced uint64 `json:"coalesced"`
+			Entries     int    `json:"entries"`
+			WarmEntries int    `json:"warm_entries"`
+			Hits        uint64 `json:"hits"`
+			Misses      uint64 `json:"misses"`
+			Coalesced   uint64 `json:"coalesced"`
 		} `json:"cache"`
 		Batch struct {
 			Batches  uint64 `json:"batches"`
@@ -864,6 +1009,7 @@ func (s *Server) handleMetricz(w http.ResponseWriter, r *http.Request) {
 		LatencyUs HistSummary            `json:"latency_us"`
 		Spans     map[string]HistSummary `json:"spans,omitempty"`
 		Tracing   *telemetry.Metrics     `json:"tracing,omitempty"`
+		Sampling  *samplingJSON          `json:"sampling,omitempty"`
 	}{
 		Engine:      core.EngineVersion(),
 		Draining:    snap.draining,
@@ -874,6 +1020,7 @@ func (s *Server) handleMetricz(w http.ResponseWriter, r *http.Request) {
 		LatencyUs:   summarize(snap.latency),
 	}
 	payload.Cache.Entries = snap.cacheEntries
+	payload.Cache.WarmEntries = snap.warmEntries
 	payload.Cache.Hits = snap.cacheHits
 	payload.Cache.Misses = snap.cacheMisses
 	payload.Cache.Coalesced = snap.cacheCoalesced
@@ -888,6 +1035,13 @@ func (s *Server) handleMetricz(w http.ResponseWriter, r *http.Request) {
 	payload.Suite.LiveFallbacks = snap.suite.LiveFallbacks
 	if s.tel != nil {
 		payload.Tracing = &snap.tracing
+		payload.Sampling = &samplingJSON{
+			Kept:            snap.tracing.SampledKept,
+			Dropped:         snap.tracing.SampledDropped,
+			Retained:        snap.sampling.Retained,
+			KeptByPolicy:    policyMap(snap.sampling.KeptByPolicy),
+			EvictedByPolicy: policyMap(snap.sampling.EvictedByPolicy),
+		}
 		if len(snap.spanHists) > 0 {
 			payload.Spans = make(map[string]HistSummary, len(snap.spanHists))
 			for _, nh := range snap.spanHists {
@@ -898,25 +1052,22 @@ func (s *Server) handleMetricz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, payload)
 }
 
-func wantsProm(r *http.Request) bool {
-	switch r.URL.Query().Get("format") {
-	case "prometheus", "text":
-		return true
-	case "json":
-		return false
+// writeProm renders the snapshot as Prometheus exposition 0.0.4 or,
+// when om is set, OpenMetrics 1.0.0 with trace exemplars on the
+// histogram buckets. The name scheme follows the convention in
+// DESIGN.md §16: heliosd_ prefix, _total suffix on counters, base units
+// spelled out in the name. Both dialects pass telemetry's linter —
+// CI's telemetry-smoke job asserts exactly that, and in OpenMetrics
+// mode additionally that every exemplar resolves via /tracez.
+func (s *Server) writeProm(w http.ResponseWriter, snap metricsSnapshot, om bool) {
+	var p *telemetry.PromWriter
+	if om {
+		w.Header().Set("Content-Type", telemetry.OpenMetricsContentType)
+		p = telemetry.NewOpenMetricsWriter(w)
+	} else {
+		w.Header().Set("Content-Type", telemetry.PromContentType)
+		p = telemetry.NewPromWriter(w)
 	}
-	acc := r.Header.Get("Accept")
-	return strings.Contains(acc, "text/plain") || strings.Contains(acc, "openmetrics")
-}
-
-// writeProm renders the snapshot as Prometheus exposition 0.0.4. The
-// name scheme follows the convention in DESIGN.md §16: heliosd_ prefix,
-// _total suffix on counters, base units spelled out in the name. The
-// output passes telemetry.LintExposition — CI's telemetry-smoke job
-// asserts exactly that.
-func (s *Server) writeProm(w http.ResponseWriter, snap metricsSnapshot) {
-	w.Header().Set("Content-Type", telemetry.PromContentType)
-	p := telemetry.NewPromWriter(w)
 	p.Counter("heliosd_requests_admitted_total", "Requests admitted past the bounded queue.", snap.c.Admitted)
 	p.CounterVec("heliosd_requests_rejected_total", "Requests refused at admission, by reason.", []telemetry.LabeledValue{
 		{Labels: []telemetry.Label{{Name: "reason", Value: "overload"}}, Value: snap.c.RejectedOverload},
@@ -938,6 +1089,7 @@ func (s *Server) writeProm(w http.ResponseWriter, snap metricsSnapshot) {
 	p.Gauge("heliosd_inflight_requests_max", "Admission high-water mark.", float64(snap.maxInflight))
 	p.Gauge("heliosd_queue_depth", "Configured admission bound.", float64(snap.queueDepth))
 	p.Gauge("heliosd_cache_entries", "Content-addressed results resident.", float64(snap.cacheEntries))
+	p.Gauge("heliosd_cache_warm_entries", "Results restored from the cache directory at boot.", float64(snap.warmEntries))
 	p.Counter("heliosd_cache_hits_total", "Result-cache hits.", snap.cacheHits)
 	p.Counter("heliosd_cache_misses_total", "Result-cache misses.", snap.cacheMisses)
 	p.Counter("heliosd_cache_coalesced_total", "Requests that waited on an identical in-flight run.", snap.cacheCoalesced)
@@ -950,7 +1102,12 @@ func (s *Server) writeProm(w http.ResponseWriter, snap metricsSnapshot) {
 	p.Counter("heliosd_suite_pipeline_runs_total", "Full pipeline simulations.", snap.suite.PipelineRuns)
 	p.Counter("heliosd_suite_deduped_runs_total", "Suite runs deduplicated by singleflight.", snap.suite.DedupedRuns)
 	p.Counter("heliosd_suite_live_fallbacks_total", "Corrupt recordings degraded to live re-emulation.", snap.suite.LiveFallbacks)
-	p.Histogram("heliosd_request_duration_microseconds", "Completed-request wall time.", snap.latency)
+	// keep filters exemplars to currently retained traces at exposition
+	// time, so every emitted trace_id deep-links into /tracez. Nil tel
+	// (or 0.0.4 mode) emits no exemplars at all.
+	keep := func(id uint64) bool { return s.tel.Retained(id) }
+	p.HistogramEx("heliosd_request_duration_microseconds", "Completed-request wall time.",
+		snap.latency, telemetry.Exemplars{Set: &snap.latencyEx, Keep: keep})
 	if s.tel != nil {
 		t := snap.tracing
 		p.Counter("heliosd_traces_started_total", "Request traces started.", t.TracesStarted)
@@ -961,20 +1118,46 @@ func (s *Server) writeProm(w http.ResponseWriter, snap metricsSnapshot) {
 		p.Counter("heliosd_spans_dropped_total", "Spans dropped on finished traces.", t.SpansDropped)
 		p.Counter("heliosd_trace_ring_evicted_total", "Finished traces evicted from the /tracez ring.", t.RingEvicted)
 		p.Counter("heliosd_trace_export_errors_total", "Trace/NDJSON export failures.", t.ExportErrors)
+		p.Counter("heliosd_traces_sampled_kept_total", "Finished traces the tail sampler kept.", t.SampledKept)
+		p.Counter("heliosd_traces_sampled_dropped_total", "Finished traces the tail sampler dropped.", t.SampledDropped)
+		p.CounterVec("heliosd_trace_ring_admitted_total", "Ring admissions by deciding sampling policy.",
+			policyRows(snap.sampling.KeptByPolicy))
+		p.CounterVec("heliosd_trace_ring_evictions_total", "Ring evictions by the evicted trace's admitting policy.",
+			policyRows(snap.sampling.EvictedByPolicy))
+		p.Gauge("heliosd_trace_ring_retained", "Finished traces currently retained for /tracez.", float64(snap.sampling.Retained))
 		if len(snap.spanHists) > 0 {
+			exByName := make(map[string]*telemetry.ExemplarSet, len(snap.spanEx))
+			for i := range snap.spanEx {
+				exByName[snap.spanEx[i].Name] = &snap.spanEx[i].Set
+			}
 			series := make([]telemetry.LabeledHist, 0, len(snap.spanHists))
 			for _, nh := range snap.spanHists {
 				series = append(series, telemetry.LabeledHist{
 					Labels: []telemetry.Label{{Name: "span", Value: nh.Name}},
 					Hist:   nh.Hist,
+					Ex:     telemetry.Exemplars{Set: exByName[nh.Name], Keep: keep},
 				})
 			}
 			p.HistogramVec("heliosd_span_duration_microseconds", "Span wall time, labeled by span name.", series)
 		}
 	}
+	p.Close()
 	if err := p.Err(); err != nil {
 		s.logf("serve: prometheus exposition: %v", err)
 	}
+}
+
+// policyRows renders per-policy sampling counts as labeled samples,
+// already sorted by policy name (Tracer.Sampling guarantees it).
+func policyRows(rows []telemetry.PolicyCount) []telemetry.LabeledValue {
+	out := make([]telemetry.LabeledValue, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, telemetry.LabeledValue{
+			Labels: []telemetry.Label{{Name: "policy", Value: r.Policy}},
+			Value:  r.Count,
+		})
+	}
+	return out
 }
 
 func b2f(v bool) float64 {
@@ -986,16 +1169,32 @@ func b2f(v bool) float64 {
 
 // handleTracez serves the tracer's retained ring of finished request
 // traces as one Chrome trace-event JSON document — load it straight
-// into Perfetto. 404 when telemetry is off, so probes can distinguish
-// "disabled" from "no traffic yet".
+// into Perfetto. `?id=N` narrows to one retained trace (the deep link
+// /metricz exemplars and flight-recorder entries carry), with a typed
+// 404 when the id is not retained — dropped, evicted, or never issued.
 func (s *Server) handleTracez(w http.ResponseWriter, r *http.Request) {
 	if s.tel == nil {
 		writeError(w, &Error{Kind: ErrBadRequest,
 			Msg: "telemetry disabled (start heliosd with -telemetry)"})
 		return
 	}
+	traces := s.tel.Finished()
+	if idStr := r.URL.Query().Get("id"); idStr != "" {
+		id, err := strconv.ParseUint(idStr, 10, 64)
+		if err != nil {
+			writeError(w, &Error{Kind: ErrBadRequest, Msg: "bad trace id: " + err.Error()})
+			return
+		}
+		ti, ok := s.tel.Find(id)
+		if !ok {
+			writeError(w, &Error{Kind: ErrNotFound,
+				Msg: fmt.Sprintf("trace %d is not retained (dropped by the sampler, evicted, or never issued)", id)})
+			return
+		}
+		traces = []telemetry.TraceInfo{ti}
+	}
 	w.Header().Set("Content-Type", "application/json")
-	if err := telemetry.WriteChromeTrace(w, s.tel.Finished()); err != nil {
+	if err := telemetry.WriteChromeTrace(w, traces); err != nil {
 		s.logf("serve: tracez export: %v", err)
 	}
 }

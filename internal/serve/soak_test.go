@@ -15,6 +15,7 @@ import (
 	"helios/internal/chaos"
 	"helios/internal/fusion"
 	"helios/internal/ooo"
+	"helios/internal/telemetry/sampling"
 	"helios/internal/workloads"
 )
 
@@ -31,11 +32,15 @@ import (
 //   - every span started during the campaign ended exactly once — no
 //     orphan spans under the panic/deadline/drain paths (the audit hook
 //     of chaos.AuditedServiceCampaign)
+//   - the tail sampler under fire: zero error-kind traces evicted, the
+//     retention ledger exact (kept − evicted == retained ≤ ring), the
+//     healthy-traffic budget genuinely dropping traces, and every
+//     error in the flight recorder carrying a trace ID that resolves
 //   - the server drains cleanly afterwards and refuses new work typed
 //
 // Run under -race this doubles as the concurrency audit of the whole
 // serve stack (cache singleflight, batcher, admission accounting,
-// tracer).
+// tracer, sampler, flight recorder).
 func TestServiceSoak(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.DefaultInsts = 3_000
@@ -45,7 +50,19 @@ func TestServiceSoak(t *testing.T) {
 	cfg.MaxBodyBytes = 8 << 10
 	cfg.RetryAfter = 5 * time.Millisecond
 	cfg.Telemetry = true
-	cfg.TraceRing = 512 // retain the whole campaign for the audit
+	cfg.TraceRing = 512 // above the error-trace count, so no error ever needs evicting
+	// The campaign's sampler: the standard chain with the healthy-traffic
+	// budget pinched to a non-refilling 8-trace burst (perSec 0), so the
+	// rate policy is guaranteed to run dry and SampledDropped > 0 is a
+	// hard assertion, not a timing accident. Seeded floor keeps verdicts
+	// reproducible across runs.
+	cfg.Sampler = sampling.NewChain(
+		sampling.Errors(),
+		sampling.SlowTail(99, 64),
+		sampling.SpanBoost(sampling.PrioSpan, "record", "degrade"),
+		sampling.Limit(sampling.All(), 0, 8),
+		sampling.Floor(0.01, 1),
+	)
 
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
@@ -100,6 +117,80 @@ func TestServiceSoak(t *testing.T) {
 		return errs
 	}
 
+	// The sampling audit runs after the balance audit has polled the
+	// tracer to quiescence, so the ledger it checks is final.
+	samplingAudit := func() []error {
+		tel := s.Telemetry()
+		m := tel.Metrics()
+		st := tel.Sampling()
+		var errs []error
+		if m.SampledDropped == 0 {
+			errs = append(errs, fmt.Errorf("sampler dropped nothing — the soak never exercised tail sampling"))
+		}
+		var kept, evicted uint64
+		for _, pc := range st.KeptByPolicy {
+			kept += pc.Count
+		}
+		for _, pc := range st.EvictedByPolicy {
+			evicted += pc.Count
+			if pc.Policy == "error" && pc.Count > 0 {
+				errs = append(errs, fmt.Errorf("%d error-kind traces evicted from the ring — errors must outlive everything", pc.Count))
+			}
+		}
+		if kept != m.SampledKept {
+			errs = append(errs, fmt.Errorf("kept-by-policy ledger leak: per-policy sum %d != sampled_kept %d", kept, m.SampledKept))
+		}
+		if evicted != m.RingEvicted {
+			errs = append(errs, fmt.Errorf("evicted-by-policy ledger leak: per-policy sum %d != ring_evicted %d", evicted, m.RingEvicted))
+		}
+		if st.Retained > cfg.TraceRing {
+			errs = append(errs, fmt.Errorf("ring bound violated: %d retained > cap %d", st.Retained, cfg.TraceRing))
+		}
+		if uint64(st.Retained) != m.SampledKept-m.RingEvicted {
+			errs = append(errs, fmt.Errorf("retention ledger: retained %d != kept %d - evicted %d",
+				st.Retained, m.SampledKept, m.RingEvicted))
+		}
+		return errs
+	}
+
+	// The flight audit: exactly one entry per campaign request (the ring
+	// is sized above the campaign), and every error entry deep-links to a
+	// retained trace — the triage pipeline's core promise. recordFlight
+	// is the last deferred hook of a request, so the recorder can trail
+	// the tracer by microseconds; poll briefly before judging.
+	flightAudit := func() []error {
+		var errs []error
+		want := clients * perClient
+		for wait := time.Duration(0); s.FlightSize() < want && wait < 2*time.Second; wait += 10 * time.Millisecond {
+			time.Sleep(10 * time.Millisecond)
+		}
+		if got := s.FlightSize(); got != want {
+			errs = append(errs, fmt.Errorf("flight recorder holds %d entries, want exactly %d", got, want))
+		}
+		for _, e := range s.flight.snapshot(0, 0) {
+			if e.Outcome == "ok" {
+				continue
+			}
+			if e.Outcome == "" {
+				errs = append(errs, fmt.Errorf("flight #%d (%s %s): empty outcome", e.Seq, e.Method, e.Path))
+				continue
+			}
+			if !e.Sampled || e.Policy != "error" {
+				errs = append(errs, fmt.Errorf("flight #%d outcome %q: sampled=%t policy=%q, want kept by the error policy",
+					e.Seq, e.Outcome, e.Sampled, e.Policy))
+				continue
+			}
+			if e.TraceID == 0 {
+				errs = append(errs, fmt.Errorf("flight #%d outcome %q: no retained trace to deep-link", e.Seq, e.Outcome))
+				continue
+			}
+			if _, ok := s.Telemetry().Find(e.TraceID); !ok {
+				errs = append(errs, fmt.Errorf("flight #%d outcome %q: trace %d does not resolve", e.Seq, e.Outcome, e.TraceID))
+			}
+		}
+		return errs
+	}
+
 	rep := chaos.AuditedServiceCampaign(ctx, clients, perClient, 30*time.Second,
 		func(ctx context.Context, client, seq int) (chaos.ServiceVerdict, string) {
 			rng := rand.New(rand.NewPCG(uint64(client), uint64(seq)))
@@ -133,7 +224,7 @@ func TestServiceSoak(t *testing.T) {
 					1_000*(1+rng.IntN(3)))
 				return soakPost(ts.URL+"/v1/run", body)
 			}
-		}, audit)
+		}, chaos.Audits(audit, samplingAudit, flightAudit))
 
 	if rep.Runs != clients*perClient {
 		t.Errorf("Runs = %d, want %d", rep.Runs, clients*perClient)

@@ -30,6 +30,11 @@ func (h *Histogram) Observe(v uint64) {
 	h.Buckets[histBucket(v)]++
 }
 
+// HistBucketOf returns the bucket index a value lands in — the exported
+// twin of histBucket for callers that keep per-bucket sidecars aligned
+// with a Histogram (telemetry's exemplar store keys its slots this way).
+func HistBucketOf(v uint64) int { return histBucket(v) }
+
 // histBucket maps a value to its bucket index: exact below 16, then 4
 // sub-buckets per octave, clamping at the last bucket.
 func histBucket(v uint64) int {

@@ -1,0 +1,66 @@
+package telemetry
+
+import "helios/internal/stats"
+
+// Exemplar links one histogram observation back to the trace that
+// produced it — the OpenMetrics bridge from a /metricz bucket to a
+// /tracez trace. Value is the observed sample in the histogram's base
+// unit (heliosd: microseconds); TSUnixUS is the capture wall-clock in
+// unix microseconds (exposition renders seconds).
+type Exemplar struct {
+	TraceID  uint64
+	Value    uint64
+	TSUnixUS int64
+}
+
+// ExemplarSet is a fixed per-bucket exemplar sidecar aligned with a
+// stats.Histogram: one slot per histogram bucket, latest observation
+// wins. The zero value is ready to use and copies by value, mirroring
+// stats.Histogram. Callers synchronize: the tracer observes under its
+// own mutex, serve under s.mu.
+type ExemplarSet struct {
+	Slots [stats.NumHistBuckets]Exemplar
+}
+
+// Observe records v against trace traceID. A zero traceID (no active
+// trace) is ignored, so untraced observations never produce dangling
+// exemplars.
+func (e *ExemplarSet) Observe(v, traceID uint64, tsUnixUS int64) {
+	if e == nil || traceID == 0 {
+		return
+	}
+	e.Slots[stats.HistBucketOf(v)] = Exemplar{TraceID: traceID, Value: v, TSUnixUS: tsUnixUS}
+}
+
+// Pick returns the newest exemplar in bucket slots [lo, hi] that
+// satisfies keep (nil keep accepts everything). Exposition uses it to
+// collapse the underlying fine buckets onto the strided `le` bounds
+// while filtering out traces the retention ring has since evicted —
+// every emitted exemplar must resolve via /tracez.
+func (e *ExemplarSet) Pick(lo, hi int, keep func(traceID uint64) bool) (Exemplar, bool) {
+	if e == nil {
+		return Exemplar{}, false
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	if hi >= stats.NumHistBuckets {
+		hi = stats.NumHistBuckets - 1
+	}
+	var best Exemplar
+	found := false
+	for i := lo; i <= hi; i++ {
+		ex := e.Slots[i]
+		if ex.TraceID == 0 {
+			continue
+		}
+		if keep != nil && !keep(ex.TraceID) {
+			continue
+		}
+		if !found || ex.TSUnixUS >= best.TSUnixUS {
+			best = ex
+			found = true
+		}
+	}
+	return best, found
+}

@@ -56,8 +56,12 @@ func (tr *Trace) Snapshot() TraceInfo {
 	for _, sp := range tr.spans {
 		se := sp.end
 		unended := !sp.ended
-		if unended {
-			se = end // clamp open spans to the trace end
+		if unended || se.After(end) {
+			// Clamp to the trace end: open spans, and spans whose End
+			// raced past Finish (a batch executor finishing a balanced
+			// span pair for a deadline-abandoned request). The trace's
+			// exported timeline is sealed at Finish.
+			se = end
 		}
 		info.Spans = append(info.Spans, SpanInfo{
 			Name:    sp.name,

@@ -14,27 +14,55 @@ import (
 )
 
 // PromWriter renders Prometheus text exposition format 0.0.4
-// (`text/plain; version=0.0.4`): one HELP/TYPE header per metric
-// family followed by its samples. Callers emit families in order; the
-// writer tracks seen names and refuses a family that reappears after
-// another family's samples (promtool rejects ungrouped families).
-// Errors latch: the first write or format error is kept and later
-// calls no-op.
+// (`text/plain; version=0.0.4`) or, via NewOpenMetricsWriter,
+// OpenMetrics 1.0.0: one HELP/TYPE header per metric family followed
+// by its samples. Callers emit families in order; the writer tracks
+// seen names and refuses a family that reappears after another
+// family's samples (promtool rejects ungrouped families). Errors
+// latch: the first write or format error is kept and later calls
+// no-op.
+//
+// The OpenMetrics dialect differs in three ways, all handled here so
+// call sites are format-agnostic: counter families are TYPE-declared
+// without the `_total` suffix (samples keep it), histogram bucket
+// samples may carry `# {trace_id="..."} value timestamp` exemplars,
+// and the exposition must end with `# EOF` (Close emits it).
 type PromWriter struct {
 	w    io.Writer
+	om   bool
 	err  error
 	seen map[string]bool
 	last string
 }
 
-// PromContentType is the Content-Type of the exposition.
+// PromContentType is the Content-Type of the classic 0.0.4 exposition.
 const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// OpenMetricsContentType is the Content-Type of the OpenMetrics
+// exposition — the version heliosd advertises when exemplars are on.
+const OpenMetricsContentType = "application/openmetrics-text; version=1.0.0; charset=utf-8"
 
 var promNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
 
-// NewPromWriter wraps w.
+// NewPromWriter wraps w in the classic 0.0.4 dialect; exemplars passed
+// to HistogramEx/HistogramVec are silently dropped (0.0.4 has no
+// exemplar syntax).
 func NewPromWriter(w io.Writer) *PromWriter {
 	return &PromWriter{w: w, seen: make(map[string]bool)}
+}
+
+// NewOpenMetricsWriter wraps w in the OpenMetrics 1.0.0 dialect.
+// Callers must Close() the writer to terminate the exposition with
+// `# EOF` (LintExposition enforces it).
+func NewOpenMetricsWriter(w io.Writer) *PromWriter {
+	return &PromWriter{w: w, om: true, seen: make(map[string]bool)}
+}
+
+// Close terminates an OpenMetrics exposition. No-op in 0.0.4 mode.
+func (p *PromWriter) Close() {
+	if p.om {
+		p.printf("# EOF\n")
+	}
 }
 
 // Err reports the latched error, if any.
@@ -60,7 +88,13 @@ func (p *PromWriter) header(name, typ, help string) {
 	}
 	p.seen[name] = true
 	p.last = name
-	p.printf("# HELP %s %s\n# TYPE %s %s\n", name, escapeHelp(help), name, typ)
+	fam := name
+	if p.om && typ == "counter" {
+		// OpenMetrics declares the counter family without _total; the
+		// samples keep the suffix.
+		fam = strings.TrimSuffix(name, "_total")
+	}
+	p.printf("# HELP %s %s\n# TYPE %s %s\n", fam, escapeHelp(help), fam, typ)
 }
 
 func (p *PromWriter) sample(name string, labels []Label, value string) {
@@ -128,13 +162,32 @@ const histBucketStride = 4
 // final finite bucket, so the +Inf bucket always equals _count.
 func (p *PromWriter) Histogram(name, help string, h stats.Histogram, labels ...Label) {
 	p.header(name, "histogram", help)
-	p.histSeries(name, labels, h)
+	p.histSeries(name, labels, h, Exemplars{})
 }
 
-// LabeledHist is one series of a HistogramVec family.
+// Exemplars attaches an ExemplarSet to a histogram emission. Keep, when
+// non-nil, is the retention filter: exemplars whose trace it rejects
+// are skipped, so a bucket never links to a trace /tracez has evicted.
+// Ignored entirely in 0.0.4 mode.
+type Exemplars struct {
+	Set  *ExemplarSet
+	Keep func(traceID uint64) bool
+}
+
+// HistogramEx is Histogram plus per-bucket exemplars (OpenMetrics mode
+// only). Each exposed `le` bucket carries the newest retained exemplar
+// among the underlying fine buckets it covers.
+func (p *PromWriter) HistogramEx(name, help string, h stats.Histogram, ex Exemplars, labels ...Label) {
+	p.header(name, "histogram", help)
+	p.histSeries(name, labels, h, ex)
+}
+
+// LabeledHist is one series of a HistogramVec family. Ex is optional
+// and only consulted in OpenMetrics mode.
 type LabeledHist struct {
 	Labels []Label
 	Hist   stats.Histogram
+	Ex     Exemplars
 }
 
 // HistogramVec emits one histogram family with one bucket series per
@@ -142,30 +195,51 @@ type LabeledHist struct {
 func (p *PromWriter) HistogramVec(name, help string, series []LabeledHist) {
 	p.header(name, "histogram", help)
 	for _, s := range series {
-		p.histSeries(name, s.Labels, s.Hist)
+		p.histSeries(name, s.Labels, s.Hist, s.Ex)
 	}
 }
 
-func (p *PromWriter) histSeries(name string, labels []Label, h stats.Histogram) {
+func (p *PromWriter) histSeries(name string, labels []Label, h stats.Histogram, ex Exemplars) {
 	var cum uint64
+	prev := -1 // first exposed bucket covers fine buckets [0, 15]
 	i := 0
 	for i < stats.NumHistBuckets {
 		cum += h.Buckets[i]
 		if i >= 15 && (i-15)%histBucketStride == 0 {
-			p.bucketSample(name, labels, strconv.FormatUint(stats.HistBucketBound(i), 10), cum)
+			p.bucketSample(name, labels, strconv.FormatUint(stats.HistBucketBound(i), 10), cum, p.pickExemplar(ex, prev+1, i))
+			prev = i
 		}
 		i++
 	}
-	p.bucketSample(name, labels, "+Inf", h.Count)
+	p.bucketSample(name, labels, "+Inf", h.Count, nil)
 	p.sample(name+"_sum", labels, strconv.FormatUint(h.Sum, 10))
 	p.sample(name+"_count", labels, strconv.FormatUint(h.Count, 10))
 }
 
-func (p *PromWriter) bucketSample(name string, labels []Label, le string, v uint64) {
+func (p *PromWriter) pickExemplar(ex Exemplars, lo, hi int) *Exemplar {
+	if !p.om || ex.Set == nil {
+		return nil
+	}
+	e, ok := ex.Set.Pick(lo, hi, ex.Keep)
+	if !ok {
+		return nil
+	}
+	return &e
+}
+
+func (p *PromWriter) bucketSample(name string, labels []Label, le string, v uint64, ex *Exemplar) {
 	bl := make([]Label, 0, len(labels)+1)
 	bl = append(bl, labels...)
 	bl = append(bl, Label{Name: "le", Value: le})
-	p.sample(name+"_bucket", bl, strconv.FormatUint(v, 10))
+	if ex == nil {
+		p.sample(name+"_bucket", bl, strconv.FormatUint(v, 10))
+		return
+	}
+	value := strconv.FormatUint(v, 10) +
+		fmt.Sprintf(" # {trace_id=%q} %d %s",
+			strconv.FormatUint(ex.TraceID, 10), ex.Value,
+			strconv.FormatFloat(float64(ex.TSUnixUS)/1e6, 'f', 6, 64))
+	p.sample(name+"_bucket", bl, value)
 }
 
 func escapeHelp(s string) string {
@@ -189,12 +263,33 @@ func escapeHelp(s string) string {
 //
 // It returns the first violation found, prefixed with its line number.
 func LintExposition(r io.Reader) error {
+	return LintExpositionOptions(r, LintOptions{})
+}
+
+// LintOptions extends the linter to the OpenMetrics dialect.
+type LintOptions struct {
+	// OpenMetrics switches on the 1.0.0 rules: the exposition must end
+	// with `# EOF`, counter families are TYPE-declared without `_total`
+	// while samples keep it, and `# {...}` exemplars are legal on
+	// _bucket and _total samples (they are an error in 0.0.4 mode).
+	OpenMetrics bool
+	// ResolveTrace, when non-nil, is the retention-consistency check:
+	// every exemplar's trace_id must resolve (heliosctl points it at
+	// /tracez?id=..., tests at Tracer.Retained). Dangling exemplars —
+	// a bucket deep-linking to an evicted trace — are a lint error.
+	ResolveTrace func(traceID string) bool
+}
+
+// LintExpositionOptions lints r under opts; see LintExposition.
+func LintExpositionOptions(r io.Reader, opts LintOptions) error {
 	l := &promLinter{
-		types:  map[string]string{},
-		helped: map[string]bool{},
-		closed: map[string]bool{},
-		seen:   map[string]bool{},
-		hists:  map[string]*histCheck{},
+		types:   map[string]string{},
+		helped:  map[string]bool{},
+		closed:  map[string]bool{},
+		seen:    map[string]bool{},
+		hists:   map[string]*histCheck{},
+		om:      opts.OpenMetrics,
+		resolve: opts.ResolveTrace,
 	}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
@@ -224,29 +319,39 @@ type histCheck struct {
 }
 
 type promLinter struct {
-	types  map[string]string // family → declared type
-	helped map[string]bool
-	closed map[string]bool // family had samples and a later family began
-	seen   map[string]bool // name+labels duplicates
-	hists  map[string]*histCheck
-	cur    string // family currently being emitted
+	types   map[string]string // family → declared type
+	helped  map[string]bool
+	closed  map[string]bool // family had samples and a later family began
+	seen    map[string]bool // name+labels duplicates
+	hists   map[string]*histCheck
+	cur     string // family currently being emitted
+	om      bool
+	resolve func(string) bool
+	sawEOF  bool
 }
 
 var (
-	promHelpRe   = regexp.MustCompile(`^# HELP ([a-zA-Z_:][a-zA-Z0-9_:]*)( .*)?$`)
-	promTypeRe   = regexp.MustCompile(`^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram|summary|untyped)$`)
-	promSampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{([^}]*)\})?\s+(\S+)(\s+\d+)?\s*$`)
-	promLabelRe  = regexp.MustCompile(`^([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"$`)
+	promHelpRe     = regexp.MustCompile(`^# HELP ([a-zA-Z_:][a-zA-Z0-9_:]*)( .*)?$`)
+	promTypeRe     = regexp.MustCompile(`^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram|summary|untyped|unknown)$`)
+	promSampleRe   = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{([^}]*)\})?\s+(\S+)(\s+\d+)?\s*$`)
+	promLabelRe    = regexp.MustCompile(`^([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"$`)
+	promExemplarRe = regexp.MustCompile(`^\{([^}]*)\} (\S+)( (\S+))?$`)
 )
 
 // family strips histogram/summary sample suffixes to the declaring
-// family name when that family was TYPE-declared.
+// family name when that family was TYPE-declared, and — in the
+// OpenMetrics dialect — the `_total` suffix of counter samples.
 func (l *promLinter) family(name string) string {
 	for _, suf := range []string{"_bucket", "_sum", "_count"} {
 		if base, ok := strings.CutSuffix(name, suf); ok {
 			if t := l.types[base]; t == "histogram" || t == "summary" {
 				return base
 			}
+		}
+	}
+	if base, ok := strings.CutSuffix(name, "_total"); ok {
+		if l.types[base] == "counter" {
+			return base
 		}
 	}
 	return name
@@ -270,7 +375,16 @@ func (l *promLinter) line(s string) error {
 	if strings.TrimSpace(s) == "" {
 		return nil
 	}
+	if l.sawEOF {
+		return fmt.Errorf("content after # EOF: %q", s)
+	}
 	if strings.HasPrefix(s, "#") {
+		if s == "# EOF" {
+			if l.om {
+				l.sawEOF = true
+			}
+			return nil // free-form comment in 0.0.4, terminator in OpenMetrics
+		}
 		if m := promHelpRe.FindStringSubmatch(s); m != nil {
 			if l.helped[m[1]] {
 				return fmt.Errorf("second HELP for %q", m[1])
@@ -290,11 +404,20 @@ func (l *promLinter) line(s string) error {
 		}
 		return nil // free-form comment
 	}
+	s, ex, err := l.splitExemplar(s)
+	if err != nil {
+		return err
+	}
 	m := promSampleRe.FindStringSubmatch(s)
 	if m == nil {
 		return fmt.Errorf("unparseable sample line %q", s)
 	}
 	name, rawLabels, rawValue := m[1], m[3], m[4]
+	if ex != nil {
+		if !strings.HasSuffix(name, "_bucket") && !strings.HasSuffix(name, "_total") {
+			return fmt.Errorf("exemplar on %q (only _bucket and _total samples may carry exemplars)", name)
+		}
+	}
 	value, err := parsePromValue(rawValue)
 	if err != nil {
 		return fmt.Errorf("sample %q: %w", name, err)
@@ -338,12 +461,66 @@ func (l *promLinter) line(s string) error {
 		// equation hold within a series, not across the family.
 		sort.Strings(nonLE)
 		series := fam + "{" + strings.Join(nonLE, ",") + "}"
-		return l.histSample(fam, series, name, le, value)
+		return l.histSample(fam, series, name, le, value, ex)
 	}
 	return nil
 }
 
-func (l *promLinter) histSample(fam, series, name, le string, value float64) error {
+// lintExemplar is a parsed `# {labels} value [timestamp]` sample tail.
+type lintExemplar struct {
+	traceID string
+	value   float64
+}
+
+// splitExemplar peels an OpenMetrics exemplar off a sample line,
+// validating its syntax and (when a resolver is installed) that its
+// trace_id resolves to a retained trace. Returns the line with the
+// exemplar removed.
+func (l *promLinter) splitExemplar(s string) (string, *lintExemplar, error) {
+	idx := strings.Index(s, " # ")
+	if idx < 0 {
+		return s, nil, nil
+	}
+	if !l.om {
+		return s, nil, fmt.Errorf("exemplar syntax in a 0.0.4 exposition: %q", s[idx+1:])
+	}
+	tail := s[idx+3:]
+	m := promExemplarRe.FindStringSubmatch(tail)
+	if m == nil {
+		return s, nil, fmt.Errorf("malformed exemplar %q", tail)
+	}
+	rawLabels, rawValue, rawTS := m[1], m[2], m[4]
+	value, err := parsePromValue(rawValue)
+	if err != nil {
+		return s, nil, fmt.Errorf("exemplar value: %w", err)
+	}
+	if rawTS != "" {
+		if _, err := strconv.ParseFloat(rawTS, 64); err != nil {
+			return s, nil, fmt.Errorf("exemplar timestamp %q: %w", rawTS, err)
+		}
+	}
+	ex := &lintExemplar{value: value}
+	if rawLabels != "" {
+		for _, pair := range splitLabels(rawLabels) {
+			lm := promLabelRe.FindStringSubmatch(pair)
+			if lm == nil {
+				return s, nil, fmt.Errorf("bad exemplar label %q", pair)
+			}
+			if lm[1] == "trace_id" {
+				ex.traceID = lm[2]
+			}
+		}
+	}
+	if ex.traceID == "" {
+		return s, nil, fmt.Errorf("exemplar lacks a trace_id label: %q", tail)
+	}
+	if l.resolve != nil && !l.resolve(ex.traceID) {
+		return s, nil, fmt.Errorf("exemplar trace_id=%q does not resolve to a retained trace", ex.traceID)
+	}
+	return s[:idx], ex, nil
+}
+
+func (l *promLinter) histSample(fam, series, name, le string, value float64, ex *lintExemplar) error {
 	hc := l.hists[series]
 	if hc == nil {
 		hc = &histCheck{lastLE: math.Inf(-1)}
@@ -363,6 +540,10 @@ func (l *promLinter) histSample(fam, series, name, le string, value float64) err
 		}
 		if value < hc.infCount {
 			return fmt.Errorf("histogram %q bucket counts not cumulative at le=%q", fam, le)
+		}
+		if ex != nil && (ex.value > bound || ex.value <= hc.lastLE) {
+			return fmt.Errorf("histogram %q exemplar value %v outside bucket (%v, %v]",
+				fam, ex.value, hc.lastLE, bound)
 		}
 		hc.lastLE = bound
 		hc.infCount = value
@@ -398,6 +579,9 @@ func (l *promLinter) finish() error {
 		if hc.count != hc.infCount {
 			return fmt.Errorf("histogram series %q _count %v != +Inf bucket %v", s, hc.count, hc.infCount)
 		}
+	}
+	if l.om && !l.sawEOF {
+		return fmt.Errorf("OpenMetrics exposition does not end with # EOF")
 	}
 	return nil
 }

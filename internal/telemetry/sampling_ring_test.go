@@ -1,0 +1,198 @@
+package telemetry_test
+
+import (
+	"sync"
+	"testing"
+
+	"helios/internal/telemetry"
+)
+
+// nameSampler decides by trace name: "drop" traces are dropped, every
+// other name keeps with the priority registered for it — the minimal
+// deterministic sampler for pinning ring mechanics without the policy
+// package.
+type nameSampler struct{ prio map[string]int }
+
+func (s nameSampler) Sample(ti telemetry.TraceInfo) telemetry.SampleVerdict {
+	p, ok := s.prio[ti.Name]
+	if !ok {
+		return telemetry.SampleVerdict{Keep: false, Policy: "none"}
+	}
+	return telemetry.SampleVerdict{Keep: true, Policy: ti.Name, Priority: p}
+}
+
+// TestPriorityEviction pins the eviction order of the sampled ring:
+// lowest priority leaves first, oldest-first within a priority, and
+// every departure is charged to the evicted trace's admitting policy.
+func TestPriorityEviction(t *testing.T) {
+	c := newFakeClock()
+	tr := telemetry.New(telemetry.Options{
+		Clock: c.Now,
+		Ring:  3,
+		Sampler: nameSampler{prio: map[string]int{
+			"floor": 10, "rate": 20, "error": 100,
+		}},
+	})
+	finish := func(name string) uint64 {
+		req := tr.StartTrace(name)
+		id := req.ID()
+		c.Advance(us(1))
+		req.Finish()
+		return id
+	}
+
+	finish("floor") // id 1
+	finish("error") // id 2
+	finish("floor") // id 3
+	finish("drop")  // id 4: sampled out, never enters the ring
+
+	if m := tr.Metrics(); m.SampledKept != 3 || m.SampledDropped != 1 {
+		t.Fatalf("kept/dropped = %d/%d, want 3/1", m.SampledKept, m.SampledDropped)
+	}
+	if tr.Retained(4) {
+		t.Fatal("dropped trace 4 reports as retained")
+	}
+
+	// Ring full at [floor#1, error#2, floor#3]. A rate keeper must evict
+	// the OLDEST floor (id 1), not the newest.
+	rateID := finish("rate")
+	if tr.Retained(1) {
+		t.Fatal("eviction took the newest floor trace; want oldest-first within a priority")
+	}
+	for _, id := range []uint64{2, 3, rateID} {
+		if !tr.Retained(id) {
+			t.Fatalf("trace %d missing from ring after priority eviction", id)
+		}
+	}
+
+	// Two more errors: the floor then the rate trace leave; the error
+	// traces outlive everything lower.
+	finish("error")
+	finish("error")
+	got := tr.Finished()
+	if len(got) != 3 {
+		t.Fatalf("ring holds %d traces, want 3", len(got))
+	}
+	for _, ti := range got {
+		if ti.Name != "error" {
+			t.Fatalf("ring retains %q after error pressure, want only error traces", ti.Name)
+		}
+	}
+
+	st := tr.Sampling()
+	wantEvicted := map[string]uint64{"floor": 2, "rate": 1}
+	if len(st.EvictedByPolicy) != len(wantEvicted) {
+		t.Fatalf("EvictedByPolicy = %+v, want %v", st.EvictedByPolicy, wantEvicted)
+	}
+	for _, pc := range st.EvictedByPolicy {
+		if wantEvicted[pc.Policy] != pc.Count {
+			t.Errorf("evicted[%s] = %d, want %d", pc.Policy, pc.Count, wantEvicted[pc.Policy])
+		}
+	}
+	wantKept := map[string]uint64{"floor": 2, "rate": 1, "error": 3}
+	for _, pc := range st.KeptByPolicy {
+		if wantKept[pc.Policy] != pc.Count {
+			t.Errorf("kept[%s] = %d, want %d", pc.Policy, pc.Count, wantKept[pc.Policy])
+		}
+	}
+	if st.Retained != 3 {
+		t.Errorf("Retained = %d, want 3", st.Retained)
+	}
+	if err := tr.Balance(); err != nil {
+		t.Errorf("Balance after eviction churn: %v", err)
+	}
+}
+
+// TestConcurrentSamplingAccounting hammers Finish from many goroutines
+// against a tiny ring and then closes the retention ledger exactly:
+// kept + dropped == finished, kept − evicted == retained, and the
+// per-policy splits sum to the counters. Run under -race this is the
+// concurrency audit of the sampled eviction path (the ISSUE satellite).
+func TestConcurrentSamplingAccounting(t *testing.T) {
+	tr := telemetry.New(telemetry.Options{
+		Ring: 8,
+		Sampler: nameSampler{prio: map[string]int{
+			"floor": 10, "error": 100,
+		}},
+	})
+	const workers, perWorker = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				name := [3]string{"floor", "error", "drop"}[i%3]
+				req := tr.StartTrace(name)
+				sp := req.Start("work")
+				sp.End()
+				req.Finish()
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if err := tr.Balance(); err != nil {
+		t.Fatalf("Balance after concurrent churn: %v", err)
+	}
+	m := tr.Metrics()
+	st := tr.Sampling()
+	if m.TracesFinished != workers*perWorker {
+		t.Fatalf("TracesFinished = %d, want %d", m.TracesFinished, workers*perWorker)
+	}
+	if m.SampledKept+m.SampledDropped != m.TracesFinished {
+		t.Errorf("verdict leak: kept %d + dropped %d != finished %d",
+			m.SampledKept, m.SampledDropped, m.TracesFinished)
+	}
+	if uint64(st.Retained) != m.SampledKept-m.RingEvicted {
+		t.Errorf("retention ledger: retained %d != kept %d - evicted %d",
+			st.Retained, m.SampledKept, m.RingEvicted)
+	}
+	if st.Retained > 8 {
+		t.Errorf("ring bound violated: %d retained > cap 8", st.Retained)
+	}
+	if got := len(tr.Finished()); got != st.Retained {
+		t.Errorf("Finished() returns %d traces, Sampling().Retained says %d", got, st.Retained)
+	}
+	var kept, evicted uint64
+	for _, pc := range st.KeptByPolicy {
+		kept += pc.Count
+	}
+	for _, pc := range st.EvictedByPolicy {
+		evicted += pc.Count
+	}
+	if kept != m.SampledKept || evicted != m.RingEvicted {
+		t.Errorf("per-policy sums kept=%d evicted=%d, want %d/%d",
+			kept, evicted, m.SampledKept, m.RingEvicted)
+	}
+	// Errors outnumber the ring: the survivors must all be error traces.
+	for _, ti := range tr.Finished() {
+		if ti.Name != "error" {
+			t.Errorf("ring retains %q under error pressure", ti.Name)
+		}
+	}
+}
+
+// TestVerdictNilSafety: Verdict and ID on the disabled path (nil trace)
+// must be safe zero-value no-ops — the flight recorder calls both on
+// every request regardless of telemetry state.
+func TestVerdictNilSafety(t *testing.T) {
+	var tr *telemetry.Trace
+	if id := tr.ID(); id != 0 {
+		t.Errorf("nil trace ID = %d, want 0", id)
+	}
+	if v, ok := tr.Verdict(); ok || v.Keep {
+		t.Errorf("nil trace Verdict = %+v,%t, want zero,false", v, ok)
+	}
+	// A live but unfinished trace has no verdict yet.
+	tel := telemetry.New(telemetry.Options{})
+	live := tel.StartTrace("r")
+	if _, ok := live.Verdict(); ok {
+		t.Error("unfinished trace already has a verdict")
+	}
+	live.Finish()
+	v, ok := live.Verdict()
+	if !ok || !v.Keep || v.Policy != "all" {
+		t.Errorf("no-sampler verdict = %+v,%t, want keep/all", v, ok)
+	}
+}

@@ -52,6 +52,33 @@ type Options struct {
 	// and per finished trace. Write errors latch (sticky, like
 	// obs.Observer): the first error is kept and further writes stop.
 	NDJSON io.Writer
+	// Sampler decides at Finish which traces the ring retains and with
+	// what eviction priority. Nil keeps every finished trace at priority
+	// zero, which (ties evict oldest-first) reproduces the pre-sampling
+	// FIFO ring exactly.
+	Sampler Sampler
+}
+
+// SampleVerdict is a sampler's tail decision for one finished trace.
+type SampleVerdict struct {
+	// Keep admits the trace to the retention ring.
+	Keep bool
+	// Policy names the deciding policy ("error", "slow", "floor", ...;
+	// "all" when no sampler is installed, "none" when dropped) — the key
+	// eviction accounting is split by.
+	Policy string
+	// Priority orders eviction: when the ring is full the lowest
+	// priority entry is evicted first, oldest-first within a priority.
+	Priority int
+}
+
+// Sampler makes tail-based retention decisions. Sample is called once
+// per trace at Finish, after the trace is sealed, with its complete
+// snapshot; implementations may keep internal state (rate limiters,
+// latency percentile trackers) and must be safe for concurrent use.
+// The canonical implementation is sampling.Chain.
+type Sampler interface {
+	Sample(TraceInfo) SampleVerdict
 }
 
 // DefaultRing is the finished-trace retention when Options.Ring is 0.
@@ -79,6 +106,13 @@ type Metrics struct {
 	// ExportErrors counts NDJSON sink write failures (the first error
 	// latches and stops the sink).
 	ExportErrors uint64
+	// SampledKept / SampledDropped split TracesFinished by the sampler's
+	// tail verdict. Kept traces entered the ring (they may be evicted
+	// later — RingEvicted); dropped traces still fed the histograms but
+	// were never retained. Kept + Dropped == TracesFinished at
+	// quiescence, and Kept - RingEvicted == len(ring).
+	SampledKept    uint64
+	SampledDropped uint64
 }
 
 // Rows enumerates every counter as (name, value) pairs — the dump
@@ -95,6 +129,8 @@ func (m Metrics) Rows() [][2]string {
 		{"spans_dropped", u(m.SpansDropped)},
 		{"ring_evicted", u(m.RingEvicted)},
 		{"export_errors", u(m.ExportErrors)},
+		{"sampled_kept", u(m.SampledKept)},
+		{"sampled_dropped", u(m.SampledDropped)},
 	}
 }
 
@@ -114,6 +150,10 @@ func (t *Tracer) Balance() error {
 	}
 	if m.TracesStarted != m.TracesFinished {
 		return fmt.Errorf("telemetry: trace imbalance: %d started, %d finished", m.TracesStarted, m.TracesFinished)
+	}
+	if m.SampledKept+m.SampledDropped != m.TracesFinished {
+		return fmt.Errorf("telemetry: sampling imbalance: %d kept + %d dropped != %d finished",
+			m.SampledKept, m.SampledDropped, m.TracesFinished)
 	}
 	return nil
 }
@@ -142,25 +182,47 @@ type Tracer struct {
 		spansDropped   atomic.Uint64
 		ringEvicted    atomic.Uint64
 		exportErrors   atomic.Uint64
+		sampledKept    atomic.Uint64
+		sampledDropped atomic.Uint64
 	}
+
+	sampler Sampler
 
 	mu        sync.Mutex
 	nextID    uint64
-	ring      []*Trace // finished traces, oldest first
+	ring      []retainedTrace // kept traces, insertion order (seq ascending)
+	ringSeq   uint64
 	ringCap   int
+	keptBy    map[string]uint64           // deciding policy → kept count
+	evictedBy map[string]uint64           // evicted trace's policy → evictions
 	hist      map[string]*stats.Histogram // span name → duration µs
+	histEx    map[string]*ExemplarSet     // span name → bucket exemplars (kept traces only)
 	ndjson    io.Writer
 	ndjsonErr error
+}
+
+// retainedTrace is one ring entry: the trace plus the verdict that
+// admitted it. Eviction removes the entry with the lowest priority,
+// oldest (lowest seq) within a priority — boring traces go first.
+type retainedTrace struct {
+	tr     *Trace
+	prio   int
+	policy string
+	seq    uint64
 }
 
 // New builds an enabled Tracer. A nil *Tracer is the disabled form —
 // there is deliberately no "enabled" flag to check at call sites.
 func New(o Options) *Tracer {
 	t := &Tracer{
-		clock:   o.Clock,
-		ringCap: o.Ring,
-		hist:    make(map[string]*stats.Histogram),
-		ndjson:  o.NDJSON,
+		clock:     o.Clock,
+		ringCap:   o.Ring,
+		sampler:   o.Sampler,
+		keptBy:    make(map[string]uint64),
+		evictedBy: make(map[string]uint64),
+		hist:      make(map[string]*stats.Histogram),
+		histEx:    make(map[string]*ExemplarSet),
+		ndjson:    o.NDJSON,
 	}
 	if t.clock == nil {
 		t.clock = time.Now
@@ -189,6 +251,8 @@ func (t *Tracer) Metrics() Metrics {
 		SpansDropped:   t.m.spansDropped.Load(),
 		RingEvicted:    t.m.ringEvicted.Load(),
 		ExportErrors:   t.m.exportErrors.Load(),
+		SampledKept:    t.m.sampledKept.Load(),
+		SampledDropped: t.m.sampledDropped.Load(),
 	}
 }
 
@@ -234,11 +298,13 @@ type Trace struct {
 	name  string
 	start time.Time
 
-	mu    sync.Mutex
-	attrs []Attr
-	spans []*Span
-	end   time.Time
-	done  bool
+	mu      sync.Mutex
+	attrs   []Attr
+	spans   []*Span
+	end     time.Time
+	done    bool
+	verdict SampleVerdict
+	decided bool
 }
 
 // Span is one timed region within a trace. A nil *Span no-ops.
@@ -279,6 +345,26 @@ func (tr *Trace) ID() uint64 {
 		return 0
 	}
 	return tr.id
+}
+
+// Verdict returns the sampler's tail decision for this trace. The
+// second result is false until Finish has run (and always on nil) —
+// the flight recorder reads it right after finishTrace, so the
+// decision is stamped before retire returns.
+//
+//helios:hotpath telemetry-disabled hook: a nil receiver must return without allocating
+func (tr *Trace) Verdict() (SampleVerdict, bool) {
+	if tr == nil {
+		return SampleVerdict{}, false
+	}
+	return tr.verdictSnapshot()
+}
+
+//helios:hotalloc-ok enabled path only, behind Verdict's nil check
+func (tr *Trace) verdictSnapshot() (SampleVerdict, bool) {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return tr.verdict, tr.decided
 }
 
 // SetAttr attaches a key/value attribute to the trace itself.
@@ -414,7 +500,7 @@ func (sp *Span) endSpan() {
 // the retention ring, and the NDJSON sink (if any) receives the span
 // log. Finishing twice is a no-op. Spans still open at Finish stay
 // open — Balance exposes the leak — and export clamps their duration
-// to the trace end.
+// to the trace end (as it does for an End that races past Finish).
 //
 //helios:hotpath telemetry-disabled hook: a nil receiver must return without allocating
 func (tr *Trace) Finish() {
@@ -439,9 +525,22 @@ func (tr *Trace) finish() {
 	tr.t.retire(tr)
 }
 
-// retire folds a just-finished trace into the tracer-level aggregates.
+// retire folds a just-finished trace into the tracer-level aggregates:
+// the sampler's tail verdict is computed (and stamped on the trace for
+// the flight recorder), span durations always feed the histograms, and
+// kept traces join the ring — evicting the lowest-priority entry first
+// when full — while their span durations also feed the exemplar store.
 func (t *Tracer) retire(tr *Trace) {
 	info := tr.Snapshot()
+	verdict := SampleVerdict{Keep: true, Policy: "all"}
+	if t.sampler != nil {
+		verdict = t.sampler.Sample(info)
+	}
+	tr.mu.Lock()
+	tr.verdict = verdict
+	tr.decided = true
+	tr.mu.Unlock()
+	nowUS := t.clock().UnixMicro()
 	t.mu.Lock()
 	for i := range info.Spans {
 		sp := &info.Spans[i]
@@ -451,6 +550,14 @@ func (t *Tracer) retire(tr *Trace) {
 			t.hist[sp.Name] = h
 		}
 		h.Observe(uint64(sp.DurUS))
+		if verdict.Keep {
+			e := t.histEx[sp.Name]
+			if e == nil {
+				e = &ExemplarSet{}
+				t.histEx[sp.Name] = e
+			}
+			e.Observe(uint64(sp.DurUS), info.ID, nowUS)
+		}
 	}
 	rh := t.hist[info.Name]
 	if rh == nil {
@@ -458,13 +565,30 @@ func (t *Tracer) retire(tr *Trace) {
 		t.hist[info.Name] = rh
 	}
 	rh.Observe(uint64(info.DurUS))
-	if t.ringCap > 0 {
-		if len(t.ring) >= t.ringCap {
-			n := copy(t.ring, t.ring[1:])
-			t.ring = t.ring[:n]
-			t.m.ringEvicted.Add(1)
+	if verdict.Keep {
+		re := t.histEx[info.Name]
+		if re == nil {
+			re = &ExemplarSet{}
+			t.histEx[info.Name] = re
 		}
-		t.ring = append(t.ring, tr)
+		re.Observe(uint64(info.DurUS), info.ID, nowUS)
+	}
+	switch {
+	case !verdict.Keep:
+		t.m.sampledDropped.Add(1)
+	case t.ringCap <= 0:
+		// Retention disabled: the verdict still counts as kept so the
+		// sampling balance (kept + dropped == finished) holds.
+		t.m.sampledKept.Add(1)
+		t.keptBy[verdict.Policy]++
+	default:
+		t.m.sampledKept.Add(1)
+		t.keptBy[verdict.Policy]++
+		if len(t.ring) >= t.ringCap {
+			t.evictLocked()
+		}
+		t.ringSeq++
+		t.ring = append(t.ring, retainedTrace{tr: tr, prio: verdict.Priority, policy: verdict.Policy, seq: t.ringSeq})
 	}
 	sink := t.ndjson
 	broken := t.ndjsonErr != nil
@@ -481,6 +605,24 @@ func (t *Tracer) retire(tr *Trace) {
 	}
 }
 
+// evictLocked removes the ring entry with the lowest priority (oldest
+// within a priority) and accounts the eviction against the policy that
+// had admitted it. Caller holds t.mu and guarantees the ring is
+// non-empty.
+func (t *Tracer) evictLocked() {
+	victim := 0
+	for i := 1; i < len(t.ring); i++ {
+		v, c := t.ring[victim], t.ring[i]
+		if c.prio < v.prio || (c.prio == v.prio && c.seq < v.seq) {
+			victim = i
+		}
+	}
+	t.evictedBy[t.ring[victim].policy]++
+	n := copy(t.ring[victim:], t.ring[victim+1:])
+	t.ring = t.ring[:victim+n]
+	t.m.ringEvicted.Add(1)
+}
+
 // Finished snapshots the retention ring, oldest trace first. Safe on
 // nil (empty).
 func (t *Tracer) Finished() []TraceInfo {
@@ -488,13 +630,133 @@ func (t *Tracer) Finished() []TraceInfo {
 		return nil
 	}
 	t.mu.Lock()
-	ring := make([]*Trace, len(t.ring))
-	copy(ring, t.ring)
+	ring := make([]*Trace, 0, len(t.ring))
+	for _, rt := range t.ring {
+		ring = append(ring, rt.tr)
+	}
 	t.mu.Unlock()
 	out := make([]TraceInfo, 0, len(ring))
 	for _, tr := range ring {
 		out = append(out, tr.Snapshot())
 	}
+	return out
+}
+
+// Retained reports whether trace id is currently in the retention ring
+// — the exposition-time filter that keeps every emitted exemplar
+// resolvable via /tracez. Safe on nil (false).
+func (t *Tracer) Retained(id uint64) bool {
+	if t == nil || id == 0 {
+		return false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, rt := range t.ring {
+		if rt.tr.id == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Find returns the retained trace with the given id, if any. Safe on
+// nil (miss).
+func (t *Tracer) Find(id uint64) (TraceInfo, bool) {
+	if t == nil {
+		return TraceInfo{}, false
+	}
+	t.mu.Lock()
+	var tr *Trace
+	for _, rt := range t.ring {
+		if rt.tr.id == id {
+			tr = rt.tr
+			break
+		}
+	}
+	t.mu.Unlock()
+	if tr == nil {
+		return TraceInfo{}, false
+	}
+	return tr.Snapshot(), true
+}
+
+// PolicyCount is one (policy, count) accounting row.
+type PolicyCount struct {
+	Policy string
+	Count  uint64
+}
+
+// SamplingStats is the per-policy split of the sampler's verdicts:
+// KeptByPolicy counts ring admissions by deciding policy, and
+// EvictedByPolicy counts evictions by the evicted trace's admitting
+// policy — together with Metrics they close the retention ledger
+// (kept − evicted == retained). Rows are sorted by policy name for
+// deterministic exposition.
+type SamplingStats struct {
+	KeptByPolicy    []PolicyCount
+	EvictedByPolicy []PolicyCount
+	Retained        int
+}
+
+// Rows enumerates the sampling ledger as (name, value) pairs — the
+// dump surface heliosvet's statscomplete analyzer requires, flattening
+// the per-policy splits into kept_<policy> / evicted_<policy> rows.
+func (s SamplingStats) Rows() [][2]string {
+	out := [][2]string{{"retained", fmt.Sprint(s.Retained)}}
+	for _, pc := range s.KeptByPolicy {
+		out = append(out, [2]string{"kept_" + pc.Policy, fmt.Sprint(pc.Count)})
+	}
+	for _, pc := range s.EvictedByPolicy {
+		out = append(out, [2]string{"evicted_" + pc.Policy, fmt.Sprint(pc.Count)})
+	}
+	return out
+}
+
+// Sampling snapshots the per-policy accounting. Safe on nil (zero).
+func (t *Tracer) Sampling() SamplingStats {
+	if t == nil {
+		return SamplingStats{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return SamplingStats{
+		KeptByPolicy:    sortedCounts(t.keptBy),
+		EvictedByPolicy: sortedCounts(t.evictedBy),
+		Retained:        len(t.ring),
+	}
+}
+
+func sortedCounts(m map[string]uint64) []PolicyCount {
+	out := make([]PolicyCount, 0, len(m))
+	for k, v := range m {
+		out = append(out, PolicyCount{Policy: k, Count: v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Policy < out[j].Policy })
+	return out
+}
+
+// NamedExemplars pairs a span name with a value copy of its bucket
+// exemplar set, aligned with the NamedHistogram of the same name.
+type NamedExemplars struct {
+	Name string
+	Set  ExemplarSet
+}
+
+// SpanExemplars snapshots the per-span-name exemplar stores in
+// sorted-name order. Safe on nil (empty). Only kept traces ever feed
+// these; exposition additionally filters through Retained so evicted
+// traces never leak into /metricz.
+func (t *Tracer) SpanExemplars() []NamedExemplars {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]NamedExemplars, 0, len(t.histEx))
+	for name, e := range t.histEx {
+		out = append(out, NamedExemplars{Name: name, Set: *e})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
 }
 

@@ -14,6 +14,14 @@
 #   - per-request trace files land in -trace-dir
 #   - the server still drains cleanly with telemetry enabled
 #
+# A second leg restarts heliosd with tail sampling (-sample) and a warm
+# cache directory, then proves the triage pipeline on real processes:
+# `heliosctl triage` surfaces the injected error with a trace deep
+# link, `heliosctl trace -id` resolves it, the OpenMetrics exposition
+# carries `# {trace_id=...}` exemplars and passes `metrics -om -lint`
+# (including exemplar→/tracez resolution), and a third boot on the same
+# -cache-dir serves the first request as a warm cache hit.
+#
 # Mirrors the CI telemetry-smoke job; run locally via `make telemetry-smoke`.
 set -euo pipefail
 
@@ -88,5 +96,58 @@ kill -TERM "$SERVER_PID"
 wait "$SERVER_PID" || { echo "FAIL: heliosd exited non-zero"; cat "$WORK/heliosd.log"; exit 1; }
 grep -q 'drained clean' "$WORK/heliosd.log" || { echo "FAIL: no clean-drain log line"; exit 1; }
 echo "ok: clean drain"
+
+echo "== sampling leg: restart with -sample and a warm cache dir"
+"$WORK/heliosd" -addr "$ADDR" -insts 5000 -sample -sample-rate 5 -sample-burst 5 \
+  -cache-dir "$WORK/cache" -flight 64 -drain 30s 2>"$WORK/heliosd2.log" &
+SERVER_PID=$!
+"${CTL[@]}" health -wait 15s >/dev/null
+"${CTL[@]}" run -workload crc32 -mode Helios >/dev/null
+"${CTL[@]}" run -workload crc32 -mode Helios >/dev/null
+"${CTL[@]}" run -workload sha -mode NoFusion >/dev/null
+if "${CTL[@]}" run -workload no_such_kernel >/dev/null 2>&1; then
+  echo "FAIL: unknown-workload request unexpectedly succeeded"; exit 1
+fi
+echo "ok: sampled traffic served (3 runs + 1 injected error)"
+
+echo "== triage surfaces the error with a trace deep link"
+"${CTL[@]}" triage -outcome error -json >"$WORK/triage.json"
+grep -q '"outcome":"bad-request"' "$WORK/triage.json" \
+  || { echo "FAIL: triage does not show the bad-request"; cat "$WORK/triage.json"; exit 1; }
+TID="$(sed -n 's/.*"trace_id":\([0-9][0-9]*\).*/\1/p' "$WORK/triage.json" | head -1)"
+[ -n "$TID" ] || { echo "FAIL: error entry carries no trace_id"; cat "$WORK/triage.json"; exit 1; }
+"${CTL[@]}" trace -id "$TID" -out "$WORK/error_trace.json"
+grep -q '"traceEvents"' "$WORK/error_trace.json" \
+  || { echo "FAIL: trace -id $TID returned no Chrome trace"; exit 1; }
+"${CTL[@]}" triage -min-ms 1 | grep -q sha \
+  || { echo "FAIL: triage -min-ms does not surface the slow uncached sha run"; exit 1; }
+echo "ok: triage -> trace $TID resolves; -min-ms finds the slow run"
+
+echo "== OpenMetrics exposition: exemplars, lint, retention consistency"
+"${CTL[@]}" metrics -om -lint >"$WORK/metricz.om"
+grep -q '# {trace_id=' "$WORK/metricz.om" \
+  || { echo "FAIL: OM exposition carries no exemplars"; exit 1; }
+grep -q '^# EOF' "$WORK/metricz.om" || { echo "FAIL: OM exposition lacks # EOF"; exit 1; }
+grep -q '^heliosd_traces_sampled_kept_total ' "$WORK/metricz.om" \
+  || { echo "FAIL: exposition lacks sampling counters"; exit 1; }
+echo "ok: OM exemplars linted (incl. exemplar->tracez resolution)"
+
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID" || { echo "FAIL: sampled heliosd exited non-zero"; cat "$WORK/heliosd2.log"; exit 1; }
+
+echo "== warm restart serves yesterday's results as cache hits"
+N_MANIFESTS="$(ls "$WORK/cache" | wc -l)"
+[ "$N_MANIFESTS" -ge 2 ] || { echo "FAIL: cache dir has $N_MANIFESTS manifests, want >=2"; exit 1; }
+"$WORK/heliosd" -addr "$ADDR" -insts 5000 -cache-dir "$WORK/cache" \
+  -drain 30s 2>"$WORK/heliosd3.log" &
+SERVER_PID=$!
+"${CTL[@]}" health -wait 15s >/dev/null
+"${CTL[@]}" run -workload crc32 -mode Helios | grep -q '"cached":true' \
+  || { echo "FAIL: first request after warm boot was not a cache hit"; exit 1; }
+"${CTL[@]}" metrics -prom | grep -q '^heliosd_cache_warm_entries [1-9]' \
+  || { echo "FAIL: warm-entries gauge is zero after warm boot"; exit 1; }
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID" || { echo "FAIL: warm heliosd exited non-zero"; cat "$WORK/heliosd3.log"; exit 1; }
+echo "ok: warm boot ($N_MANIFESTS manifests restored)"
 
 echo "telemetry smoke: ALL OK (trace artifact: $WORK/tracez.json)"
